@@ -1,0 +1,77 @@
+"""Figure 1(b): pipelined testing time per test pipe.
+
+The PPET scheme tests all segments concurrently in a handful of test
+pipes; each pipe's duration is dominated by its widest generating CBIT
+(``T_CBIT = 2^max-width``), and the total self-test is orders of
+magnitude below exhaustive testing of the flat circuit.
+"""
+
+import pytest
+
+from conftest import emit, merced_report
+from repro.circuits import load_circuit
+from repro.core import format_table
+from repro.ppet import PPETSession, build_scan_chain, schedule_pipes
+
+CIRCUITS = ["s27", "s510", "s641", "s1423"]
+
+
+def schedule_for(name, lk):
+    if name == "s27":
+        from repro import Merced, MercedConfig
+
+        report = Merced(MercedConfig(lk=3, seed=7)).run_named("s27")
+    else:
+        report = merced_report(name, lk)
+    chain = build_scan_chain(report.plan)
+    sched = schedule_pipes(
+        report.partition,
+        report.plan,
+        scan_cycles=chain.init_cycles + chain.readout_cycles,
+    )
+    return report, sched
+
+
+def test_figure1_testing_time(benchmark, output_dir):
+    def build():
+        return [(name, *schedule_for(name, 16)) for name in CIRCUITS]
+
+    data = benchmark.pedantic(build, rounds=1, iterations=1)
+    rows = []
+    for name, report, sched in data:
+        stats = load_circuit(name).stats()
+        flat_inputs = stats.n_inputs + stats.n_dffs
+        rows.append(
+            (
+                name,
+                len(report.plan.assignments),
+                sched.n_pipes,
+                report.plan.widest(),
+                sched.test_cycles,
+                sched.scan_cycles,
+                f"2^{flat_inputs}",
+            )
+        )
+    table = format_table(
+        [
+            "Circuit",
+            "CBITs",
+            "pipes",
+            "widest CBIT",
+            "test cycles",
+            "scan cycles",
+            "flat exhaustive",
+        ],
+        rows,
+    )
+    emit(
+        output_dir,
+        "figure1_testing_time.txt",
+        "Figure 1(b) — pipelined testing time per test pipe\n" + table,
+    )
+    for name, report, sched in data:
+        widest = report.plan.widest()
+        # each pipe dominated by its widest generator: total <= pipes * 2^widest
+        assert sched.test_cycles <= sched.n_pipes * (1 << widest)
+        stats = load_circuit(name).stats()
+        assert sched.total_cycles < (1 << (stats.n_inputs + stats.n_dffs))

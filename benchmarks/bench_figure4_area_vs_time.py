@@ -1,0 +1,45 @@
+"""Figure 4: bit-wise CBIT area versus testing time.
+
+The paper's figure plots σ_k (area per bit, in DFF equivalents) against
+the pseudo-exhaustive testing time 2^l_k for the six CBIT types, showing
+the per-bit economy of longer CBITs against exponentially growing test
+time — which is why d4 (l_k=16) and d5 (l_k=24) are the practical
+choices.
+"""
+
+from conftest import emit
+from repro.cbit import PAPER_CBIT_TYPES
+from repro.core import format_table
+
+
+def build_series():
+    return [
+        (
+            t.name,
+            t.length,
+            round(t.area_per_bit, 3),
+            t.testing_time,
+            f"2^{t.length}",
+        )
+        for t in PAPER_CBIT_TYPES
+    ]
+
+
+def test_figure4_series(benchmark, output_dir):
+    rows = benchmark(build_series)
+    table = format_table(
+        ["CBIT", "l_k", "σ_k (area/bit)", "testing cycles", "cycles"],
+        rows,
+    )
+    emit(
+        output_dir,
+        "figure4_area_vs_time.txt",
+        "Figure 4 — bit-wise area vs testing time per CBIT type\n" + table,
+    )
+    # shape: σ decreases beyond d2 while time grows exponentially
+    sigmas = [r[2] for r in rows]
+    times = [r[3] for r in rows]
+    assert sigmas[1:] == sorted(sigmas[1:], reverse=True)
+    assert all(b / a >= 16 for a, b in zip(times, times[1:]))
+    # d4/d5 sweet spot: testing time feasible (< 2^25) with σ ≈ 2.01
+    assert rows[3][2] <= 2.015 and rows[3][3] < (1 << 25)

@@ -1,0 +1,60 @@
+"""Figure 8: PPET area with vs without retiming across circuit sizes.
+
+The paper's bar chart shows the absolute CBIT-area gap widening with
+circuit size.  We regenerate the series (circuit area, CBIT area with
+retiming, CBIT area without) and assert the trend: larger circuits save
+more absolute area.
+"""
+
+import pytest
+
+from conftest import emit, merced_report, table_circuits
+from repro.circuits import TABLE9_PROFILES
+from repro.core import format_table
+
+LK = 16
+
+
+def build_series():
+    rows = []
+    for name in table_circuits():
+        area = merced_report(name, LK).area
+        rows.append(
+            (
+                name,
+                area.circuit_area_units,
+                area.cbit_area_with_retiming_units,
+                area.cbit_area_without_retiming_units,
+                area.cbit_area_without_retiming_units
+                - area.cbit_area_with_retiming_units,
+            )
+        )
+    rows.sort(key=lambda r: r[1])
+    return rows
+
+
+def test_figure8_series(benchmark, output_dir):
+    rows = benchmark.pedantic(build_series, rounds=1, iterations=1)
+    table = format_table(
+        [
+            "Circuit",
+            "circuit area",
+            "A_CBIT w/ ret",
+            "A_CBIT w/o ret",
+            "saved units",
+        ],
+        rows,
+    )
+    emit(
+        output_dir,
+        "figure8_savings.txt",
+        "Figure 8 — CBIT area with/without retiming vs circuit size\n"
+        + table,
+    )
+    # trend: absolute saving grows with circuit size (compare thirds)
+    n = len(rows)
+    small_avg = sum(r[4] for r in rows[: n // 3]) / max(1, n // 3)
+    big_avg = sum(r[4] for r in rows[-(n // 3):]) / max(1, n // 3)
+    assert big_avg >= small_avg
+    # retiming never loses
+    assert all(r[4] >= 0 for r in rows)

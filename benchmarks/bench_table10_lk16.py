@@ -1,0 +1,47 @@
+"""Table 10: partition results for l_k = 16.
+
+Columns mirror the paper: DFFs, DFFs on SCC, cut nets on SCC, nets cut,
+CPU seconds.  Absolute cut counts differ from the 1996 run (synthetic
+circuits + randomized flow); the asserted shape is the paper's
+narrative: most DFFs sit on SCCs, a large share of cut nets lands on
+SCCs, and CPU time grows with circuit size.
+"""
+
+import pytest
+
+from conftest import emit, merced_report, table_circuits
+from repro.core import render_table10_11
+
+LK = 16
+
+
+@pytest.mark.parametrize("name", table_circuits())
+def test_partition_lk16(benchmark, name):
+    report = benchmark.pedantic(
+        merced_report, args=(name, LK), rounds=1, iterations=1
+    )
+    assert report.partition.max_input_count() <= LK
+    assert report.row.n_cut_nets_on_scc <= report.row.n_cut_nets
+
+
+def test_table10_rows(benchmark, output_dir):
+    rows = benchmark.pedantic(
+        lambda: [merced_report(name, LK).row for name in table_circuits()],
+        rounds=1,
+        iterations=1,
+    )
+    emit(
+        output_dir,
+        "table10_lk16.txt",
+        render_table10_11(rows, lk=LK),
+    )
+    # Tables 10/11 shape: DFFs-on-SCC column matches the published counts
+    from repro.circuits import TABLE9_PROFILES
+
+    for row in rows:
+        assert row.n_dffs_on_scc == TABLE9_PROFILES[row.circuit].dffs_on_scc
+    # cut counts grow with circuit size overall (paper's observation)
+    sizes = {r.circuit: TABLE9_PROFILES[r.circuit].paper_area for r in rows}
+    biggest = max(rows, key=lambda r: sizes[r.circuit])
+    smallest = min(rows, key=lambda r: sizes[r.circuit])
+    assert biggest.n_cut_nets >= smallest.n_cut_nets

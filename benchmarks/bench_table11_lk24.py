@@ -1,0 +1,47 @@
+"""Table 11: partition results for l_k = 24.
+
+The paper tabulates only the circuits that still need internal cuts at
+l_k = 24; smaller designs fit behind their register boundaries.  The
+asserted shape: l_k = 24 cuts no more nets than l_k = 16 on the same
+circuit (bigger CBITs accommodate more nets — the paper's comparison of
+Tables 10 and 11).
+"""
+
+import pytest
+
+from conftest import emit, lk24_circuits, merced_report
+from repro.core import render_table10_11
+
+LK = 24
+
+
+@pytest.mark.parametrize("name", lk24_circuits())
+def test_partition_lk24(benchmark, name):
+    report = benchmark.pedantic(
+        merced_report, args=(name, LK), rounds=1, iterations=1
+    )
+    assert report.partition.max_input_count() <= LK
+
+
+def test_table11_rows(benchmark, output_dir):
+    rows = benchmark.pedantic(
+        lambda: [merced_report(name, LK).row for name in lk24_circuits()],
+        rounds=1,
+        iterations=1,
+    )
+    emit(output_dir, "table11_lk24.txt", render_table10_11(rows, lk=LK))
+    for name in lk24_circuits():
+        r16 = merced_report(name, 16)
+        r24 = merced_report(name, LK)
+        assert r24.area.n_cut_nets <= r16.area.n_cut_nets
+
+
+def test_small_circuits_fit_better_at_lk24(benchmark):
+    """Table 12's zero-row narrative: at l_k = 24, s1423 (17 PIs) needs
+    far fewer internal cuts than at l_k = 16 (the real ISCAS89 s1423
+    needs none; our synthetic stand-in is less locally clustered)."""
+    report = benchmark.pedantic(
+        merced_report, args=("s1423", LK), rounds=1, iterations=1
+    )
+    r16 = merced_report("s1423", 16)
+    assert report.area.n_cut_nets <= r16.area.n_cut_nets

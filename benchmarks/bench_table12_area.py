@@ -1,0 +1,69 @@
+"""Table 12: CBIT area with vs without retiming, l_k ∈ {16, 24}.
+
+The headline result: converting cut nets with retimed functional DFFs
+(0.9 × DFF) instead of fresh MUXed A_CELLs (2.3 × DFF) cuts the CBIT
+share of total area — the paper reports 2–32 percentage points, an
+average ≈ 20 % relative reduction, growing with circuit size.
+"""
+
+import pytest
+
+from conftest import emit, lk24_circuits, merced_report, table_circuits
+from repro.core import format_table
+
+
+def comparison_rows():
+    rows = []
+    lk24 = set(lk24_circuits())
+    for name in table_circuits():
+        c16 = merced_report(name, 16).area
+        c24 = merced_report(name, 24).area if name in lk24 else None
+        rows.append((name, c16, c24))
+    return rows
+
+
+def test_table12_area_comparison(benchmark, output_dir):
+    rows = benchmark.pedantic(comparison_rows, rounds=1, iterations=1)
+    body = []
+    for name, c16, c24 in rows:
+        body.append(
+            (
+                name,
+                round(c16.pct_with_retiming, 1),
+                round(c16.pct_without_retiming, 1),
+                round(c16.saving_points, 1),
+                round(c24.pct_with_retiming, 1) if c24 else "-",
+                round(c24.pct_without_retiming, 1) if c24 else "-",
+            )
+        )
+    table = format_table(
+        [
+            "Circuit",
+            "lk16 w/ ret %",
+            "lk16 w/o ret %",
+            "lk16 saved pts",
+            "lk24 w/ ret %",
+            "lk24 w/o ret %",
+        ],
+        body,
+    )
+    savings = [c16.saving_points for _, c16, _ in rows]
+    rel = [c16.relative_area_reduction for _, c16, _ in rows if c16.n_cut_nets]
+    summary = (
+        f"\nmean saving: {sum(savings)/len(savings):.1f} points; "
+        f"mean relative CBIT-area reduction: {sum(rel)/len(rel):.1f}% "
+        f"(paper: ~20% average)"
+    )
+    emit(
+        output_dir,
+        "table12_area.txt",
+        "Table 12 — A_CBIT/A_Total (%) with and without retiming\n"
+        + table
+        + summary,
+    )
+    # shape assertions
+    for _, c16, c24 in rows:
+        assert c16.pct_with_retiming <= c16.pct_without_retiming
+        if c24 is not None:
+            assert c24.pct_with_retiming <= c24.pct_without_retiming
+    assert sum(rel) / len(rel) > 10.0  # a clear, paper-scale advantage

@@ -1,0 +1,74 @@
+"""Table 1 + Figure 3: CBIT area catalogue and A_CELL cost model.
+
+Regenerates the paper's Table 1 (CBIT type, length, area/DFF, per-bit
+cost) twice: once from the published constants and once from our
+first-principles estimate (A_CELLs + primitive feedback network), and
+checks the two agree.  Also prints the Figure 3 A_CELL variants.
+"""
+
+import pytest
+
+from conftest import emit
+from repro.cbit import (
+    ACellVariant,
+    PAPER_CBIT_TYPES,
+    acell_area_dff,
+    estimate_cbit_area_dff,
+    feedback_taps,
+    primitive_polynomial,
+)
+from repro.core import format_table
+
+
+def build_table1():
+    rows = []
+    for t in PAPER_CBIT_TYPES:
+        est = estimate_cbit_area_dff(t.length)
+        taps = len(feedback_taps(primitive_polynomial(t.length)))
+        rows.append(
+            (
+                t.name,
+                t.length,
+                t.area_dff,
+                round(t.area_per_bit, 2),
+                round(est, 2),
+                round(100 * (est - t.area_dff) / t.area_dff, 1),
+                taps,
+            )
+        )
+    return rows
+
+
+def test_table1_catalogue(benchmark, output_dir):
+    rows = benchmark(build_table1)
+    table = format_table(
+        [
+            "CBIT",
+            "l_k",
+            "p_k (paper)",
+            "σ_k",
+            "p_k (model)",
+            "Δ%",
+            "fb taps",
+        ],
+        rows,
+    )
+    acell = format_table(
+        ["A_CELL variant", "area × DFF"],
+        [
+            ("fresh (Fig 3a)", acell_area_dff(ACellVariant.FRESH)),
+            ("retimed DFF (Fig 3b)", acell_area_dff(ACellVariant.RETIMED)),
+            ("muxed (Fig 3c)", acell_area_dff(ACellVariant.MUXED)),
+        ],
+    )
+    emit(
+        output_dir,
+        "table1_cbit_area.txt",
+        "Table 1 — CBIT area catalogue (paper vs first-principles model)\n"
+        + table
+        + "\n\nFigure 3 — A_CELL variants\n"
+        + acell,
+    )
+    # the model must track the published column within a few percent
+    for row in rows:
+        assert abs(row[5]) < 6.0

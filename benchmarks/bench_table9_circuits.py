@@ -1,0 +1,67 @@
+"""Table 9: benchmark circuit statistics.
+
+Generates every synthetic Table 9 stand-in and checks each row — #PIs,
+#DFFs, #gates, #INVs and the estimated area — against the published
+numbers exactly (the generator pins them by construction; this bench
+proves it end to end and times the generation).
+"""
+
+import pytest
+
+from conftest import emit
+from repro.circuits import TABLE9_PROFILES, generate_by_name, load_circuit
+from repro.core import format_table
+
+ALL = list(TABLE9_PROFILES)
+
+
+def circuits_for_run():
+    return ALL  # generation is cheap: always the full Table 9
+
+
+def test_table9_statistics(benchmark, output_dir):
+    def generate_all():
+        return [load_circuit(name).stats() for name in circuits_for_run()]
+
+    stats = benchmark.pedantic(generate_all, rounds=1, iterations=1)
+    rows = []
+    for s in stats:
+        p = TABLE9_PROFILES[s.name]
+        rows.append(
+            (
+                s.name,
+                s.n_inputs,
+                s.n_dffs,
+                s.n_gates,
+                s.n_inverters,
+                s.area_units,
+                p.paper_area,
+            )
+        )
+    table = format_table(
+        ["Circuit", "PIs", "DFFs", "Gates", "INVs", "Area", "Paper area"],
+        rows,
+    )
+    emit(
+        output_dir,
+        "table9_circuits.txt",
+        "Table 9 — circuit statistics (synthetic stand-ins vs paper)\n"
+        + table,
+    )
+    for s in stats:
+        p = TABLE9_PROFILES[s.name]
+        assert s.area_units == p.paper_area
+        assert (s.n_inputs, s.n_dffs, s.n_gates, s.n_inverters) == (
+            p.n_inputs,
+            p.n_dffs,
+            p.n_gates,
+            p.n_inverters,
+        )
+
+
+@pytest.mark.parametrize("name", ["s510", "s1423", "s5378"])
+def test_generation_speed(benchmark, name):
+    """Time raw generation of representative profiles."""
+    benchmark.pedantic(
+        generate_by_name, args=(name,), kwargs={"seed": 1}, rounds=2, iterations=1
+    )

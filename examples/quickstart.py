@@ -1,0 +1,43 @@
+"""Quickstart: compile a circuit for PPET and simulate its self-test.
+
+Run:
+    python examples/quickstart.py
+"""
+
+from repro import Merced, MercedConfig, load_circuit
+from repro.ppet import PPETSession
+
+
+def main() -> None:
+    # 1. Load a benchmark circuit (the paper's running example, s27).
+    circuit = load_circuit("s27")
+    print(f"circuit: {circuit!r}\n")
+
+    # 2. Run the Merced BIST compiler: flow saturation, input-constraint
+    #    clustering under l_k = 3, greedy CBIT merging, cost accounting.
+    config = MercedConfig(lk=3, seed=7)
+    report = Merced(config).run(circuit)
+    print(report.render())
+    print()
+
+    # 3. Inspect the partition: each cluster becomes one CUT with a CBIT
+    #    spanning its input nets.
+    for cluster in report.partition.clusters:
+        print(
+            f"  partition {cluster.cluster_id}: "
+            f"ι={cluster.input_count:>2}  "
+            f"inputs={sorted(cluster.input_nets)}  "
+            f"members={sorted(cluster.nodes)}"
+        )
+    print()
+
+    # 4. Simulate the full self-test session: every segment is driven
+    #    pseudo-exhaustively by its CBIT in LFSR order, responses are
+    #    compacted into MISR signatures, and every stuck-at fault is graded.
+    session = PPETSession(circuit, report.partition, report.plan)
+    outcome = session.run()
+    print(outcome.render())
+
+
+if __name__ == "__main__":
+    main()

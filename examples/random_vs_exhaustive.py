@@ -1,0 +1,90 @@
+"""Why pseudo-exhaustive? Random-BIST coverage vs the 2^ι guarantee.
+
+Reproduces the argument the paper inherits from its reference [12]
+(Sastry/Majumdar): random self-test coverage rises quickly but stalls on
+low-detectability faults, while a pseudo-exhaustive session covers every
+non-redundant fault of a ι-input segment in exactly 2^ι clocks.
+
+Run:
+    python examples/random_vs_exhaustive.py
+"""
+
+from repro import Merced, MercedConfig, load_circuit
+from repro.core import format_table
+from repro.faults import StuckAtFault
+from repro.ppet import (
+    PPETSession,
+    detectability_profile,
+    expected_random_test_length,
+    extract_cut,
+    random_coverage_curve,
+)
+
+
+def main() -> None:
+    circuit = load_circuit("s510")
+    config = MercedConfig(lk=10, seed=3, min_visit=5)
+    report = Merced(config).run(circuit)
+
+    # pick the widest segment: the hardest random-test case
+    cluster = max(report.partition.clusters, key=lambda c: c.input_count)
+    cut = extract_cut(report.partition, cluster, circuit)
+    iota = len(cut.inputs)
+    print(
+        f"segment {cluster.cluster_id} of s510: ι = {iota}, "
+        f"{len(cut)} cells, exhaustive session = 2^{iota} "
+        f"= {1 << iota} patterns\n"
+    )
+
+    faults = [
+        StuckAtFault(sig, v)
+        for sig in list(cut.inputs) + [c.output for c in cut.cells()]
+        for v in (0, 1)
+    ]
+    profile = detectability_profile(cut, faults)
+    hard_fault, d_min = profile.hardest
+    n_red = len(profile.redundant)
+    print(
+        f"fault universe: {len(faults)} stem faults, {n_red} redundant; "
+        f"hardest testable fault {hard_fault} with detectability "
+        f"{d_min:.5f} (≈1/{round(1/d_min)})"
+    )
+    print(
+        f"random patterns for 99% confidence on that fault: "
+        f"{expected_random_test_length(d_min, 0.99):.0f} "
+        f"(vs {1 << iota} exhaustive)\n"
+    )
+
+    lengths = [1 << k for k in range(3, iota + 3)]
+    curve = random_coverage_curve(cut, faults, lengths, seed=7)
+    testable = len(faults) - n_red
+    rows = []
+    for L, cov in curve:
+        rows.append(
+            (
+                L,
+                f"{100 * cov:.1f}%",
+                f"{100 * min(1.0, cov * len(faults) / testable):.1f}%",
+                "yes" if L >= (1 << iota) else "",
+            )
+        )
+    print(
+        format_table(
+            [
+                "random patterns",
+                "coverage (all)",
+                "coverage (testable)",
+                "≥ 2^ι",
+            ],
+            rows,
+        )
+    )
+    print(
+        f"\npseudo-exhaustive at 2^{iota} patterns: 100.0% of testable "
+        f"faults, guaranteed — the PPET pipeline delivers that bound for "
+        f"every segment concurrently."
+    )
+
+
+if __name__ == "__main__":
+    main()

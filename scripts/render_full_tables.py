@@ -1,0 +1,90 @@
+"""Render benchmarks/output/full_tables.json into paper-style tables.
+
+The JSON is produced by a full 17-circuit Merced sweep (both l_k values);
+this script formats it as Tables 10/11/12 and appends the summary used by
+EXPERIMENTS.md.
+
+Run:
+    python scripts/render_full_tables.py
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.circuits import TABLE9_PROFILES
+from repro.core import format_table
+
+OUT_DIR = Path(__file__).resolve().parents[1] / "benchmarks" / "output"
+
+
+def main() -> None:
+    data = json.loads((OUT_DIR / "full_tables.json").read_text())
+    sections = []
+    for lk in (16, 24):
+        rows = []
+        for name in TABLE9_PROFILES:
+            entry = data.get(f"{name}|{lk}")
+            if not entry or "error" in (entry or {}):
+                continue
+            rows.append(
+                (
+                    name,
+                    entry["dffs"],
+                    entry["dffs_on_scc"],
+                    entry["on_scc"],
+                    entry["cuts"],
+                    entry["cpu"],
+                )
+            )
+        sections.append(
+            f"Partition results for l_k = {lk} (full circuit set)\n"
+            + format_table(
+                ["Circuit", "DFFs", "DFFs on SCC", "cuts on SCC", "nets cut", "CPU (s)"],
+                rows,
+            )
+        )
+
+    rows12 = []
+    savings = []
+    for name in TABLE9_PROFILES:
+        e16 = data.get(f"{name}|16")
+        e24 = data.get(f"{name}|24")
+        if not e16 or "error" in e16:
+            continue
+        rows12.append(
+            (
+                name,
+                e16["pct_with"],
+                e16["pct_without"],
+                round(e16["pct_without"] - e16["pct_with"], 1),
+                e24["pct_with"] if e24 and "error" not in e24 else "-",
+                e24["pct_without"] if e24 and "error" not in e24 else "-",
+            )
+        )
+        savings.append(e16["pct_without"] - e16["pct_with"])
+    sections.append(
+        "CBIT area comparison (full circuit set)\n"
+        + format_table(
+            [
+                "Circuit",
+                "lk16 w/ ret %",
+                "lk16 w/o ret %",
+                "saved pts",
+                "lk24 w/ ret %",
+                "lk24 w/o ret %",
+            ],
+            rows12,
+        )
+        + f"\n\nmean saving across {len(savings)} circuits: "
+        f"{sum(savings)/len(savings):.1f} points"
+    )
+
+    text = "\n\n".join(sections) + "\n"
+    (OUT_DIR / "full_tables.txt").write_text(text)
+    print(text)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+"""repro — Merced: area-efficient pipelined pseudo-exhaustive testing with retiming.
+
+Reproduction of Liou, Lin & Cheng, *Area Efficient Pipelined
+Pseudo-Exhaustive Testing with Retiming*, DAC 1996.
+
+Quick start::
+
+    from repro import load_circuit, Merced, MercedConfig
+
+    circuit = load_circuit("s27")
+    report = Merced(MercedConfig(lk=3)).run(circuit)
+    print(report.render())
+"""
+
+from .config import DEFAULT_CONFIG, MercedConfig
+from .errors import (
+    BenchParseError,
+    CBITError,
+    ConfigError,
+    GraphError,
+    IllegalRetimingError,
+    InfeasiblePartitionError,
+    NetlistError,
+    PartitionError,
+    ReproError,
+    RetimingError,
+    SimulationError,
+)
+from .circuits import available_circuits, load_circuit, s27_netlist
+from .netlist import GateType, Netlist, parse_bench, parse_bench_file, write_bench
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DEFAULT_CONFIG",
+    "MercedConfig",
+    "BenchParseError",
+    "CBITError",
+    "ConfigError",
+    "GraphError",
+    "IllegalRetimingError",
+    "InfeasiblePartitionError",
+    "NetlistError",
+    "PartitionError",
+    "ReproError",
+    "RetimingError",
+    "SimulationError",
+    "available_circuits",
+    "load_circuit",
+    "s27_netlist",
+    "GateType",
+    "Netlist",
+    "parse_bench",
+    "parse_bench_file",
+    "write_bench",
+    "Merced",
+    "__version__",
+]
+
+
+def __getattr__(name):
+    # Lazy import of the top-level compiler to avoid import cycles while
+    # the core package pulls in every subsystem.
+    if name == "Merced":
+        from .core.merced import Merced
+
+        return Merced
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,19 @@
+"""Deterministic combinational ATPG (PODEM)."""
+
+from .podem import (
+    ATPGSummary,
+    PodemEngine,
+    Status,
+    TestResult,
+    atpg_all,
+    generate_test,
+)
+
+__all__ = [
+    "ATPGSummary",
+    "PodemEngine",
+    "Status",
+    "TestResult",
+    "atpg_all",
+    "generate_test",
+]

@@ -1,0 +1,332 @@
+"""PODEM — path-oriented decision making, a combinational ATPG engine.
+
+A deterministic test-pattern generator for single stuck-at faults
+(Goel 1981).  The engine maintains a *good* and a *faulty* three-valued
+(0/1/X) simulation of the circuit; primary-input decisions are chosen by
+backtracing the current objective to an unassigned input, and failure
+exhausts both phases of the decision before backtracking — so a completed
+search with no test is a **proof of redundancy**.
+
+Used by the library to (a) prove that the faults our pseudo-exhaustive
+self-test leaves undetected are genuinely redundant, and (b) supply the
+external-ATPG side of the partial-scan baseline.
+
+Scope: combinational circuits; DFF outputs are treated as pseudo-primary
+inputs (the standard full/partial-scan view).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..errors import SimulationError
+from ..faults.model import StuckAtFault
+from ..netlist.cells import Cell
+from ..netlist.gates import GateType
+from ..netlist.netlist import Netlist
+from ..sim.levelize import levelize
+
+__all__ = ["TestResult", "Status", "PodemEngine", "generate_test", "atpg_all", "ATPGSummary"]
+
+X = 2  # the unknown value in three-valued logic
+
+#: (controlling value, inversion) per gate type; None = no controlling value.
+_GATE_CTRL: Dict[GateType, Tuple[Optional[int], int]] = {
+    GateType.AND: (0, 0),
+    GateType.NAND: (0, 1),
+    GateType.OR: (1, 0),
+    GateType.NOR: (1, 1),
+    GateType.XOR: (None, 0),
+    GateType.XNOR: (None, 1),
+    GateType.BUF: (None, 0),
+    GateType.NOT: (None, 1),
+    GateType.MUX2: (None, 0),
+}
+
+
+def _eval3(gtype: GateType, ins: Sequence[int]) -> int:
+    """Three-valued gate evaluation."""
+    if gtype is GateType.MUX2:
+        d0, d1, sel = ins
+        if sel == 0:
+            return d0
+        if sel == 1:
+            return d1
+        return d0 if d0 == d1 != X else X
+    ctrl, inv = _GATE_CTRL[gtype]
+    if ctrl is not None:
+        if ctrl in ins:
+            return ctrl ^ inv
+        if X in ins:
+            return X
+        return (1 - ctrl) ^ inv
+    # XOR family / NOT / BUF
+    if X in ins:
+        return X
+    acc = 0
+    for v in ins:
+        acc ^= v
+    return acc ^ inv
+
+
+class Status(enum.Enum):
+    """Verdict of one PODEM search."""
+
+    DETECTED = "detected"
+    REDUNDANT = "redundant"  # full search exhausted: untestable
+    ABORTED = "aborted"  # backtrack limit hit
+
+
+@dataclass
+class TestResult:
+    """Outcome of one PODEM run."""
+
+    fault: StuckAtFault
+    status: Status
+    vector: Optional[Dict[str, int]] = None  # PI assignment (X inputs omitted)
+    backtracks: int = 0
+
+    @property
+    def found(self) -> bool:
+        return self.status is Status.DETECTED
+
+
+class PodemEngine:
+    """Reusable PODEM engine bound to one combinational netlist.
+
+    Args:
+        observe: observation points.  Defaults to the primary outputs
+            plus every DFF's data-input signal — the full-scan view in
+            which register inputs are captured and shifted out.
+    """
+
+    def __init__(self, netlist: Netlist, observe: Optional[Sequence[str]] = None):
+        self.netlist = netlist
+        self.order = levelize(netlist).order
+        self.pis: Tuple[str, ...] = tuple(netlist.inputs) + tuple(
+            c.output for c in netlist.dff_cells()
+        )
+        if any(c.is_dff for c in self.order):  # pragma: no cover
+            raise SimulationError("levelized order contains registers")
+        if observe is None:
+            pseudo = [c.inputs[0] for c in netlist.dff_cells()]
+            seen = set()
+            observe = [
+                o
+                for o in tuple(netlist.outputs) + tuple(pseudo)
+                if not (o in seen or seen.add(o))
+            ]
+        self.outputs = tuple(observe)
+        self._readers: Dict[str, List[Cell]] = {}
+        for cell in self.order:
+            for sig in cell.inputs:
+                self._readers.setdefault(sig, []).append(cell)
+
+    # ------------------------------------------------------------------
+    def _simulate(
+        self, assignment: Dict[str, int], fault: StuckAtFault
+    ) -> Tuple[Dict[str, int], Dict[str, int]]:
+        """Forward three-valued good/faulty simulation."""
+        good: Dict[str, int] = {}
+        bad: Dict[str, int] = {}
+        for pi in self.pis:
+            v = assignment.get(pi, X)
+            good[pi] = v
+            bad[pi] = v
+        if fault.signal in bad and fault.signal in self.pis:
+            bad[fault.signal] = fault.value
+        for cell in self.order:
+            g = _eval3(cell.gtype, [good[s] for s in cell.inputs])
+            b = _eval3(cell.gtype, [bad[s] for s in cell.inputs])
+            good[cell.output] = g
+            bad[cell.output] = (
+                fault.value if cell.output == fault.signal else b
+            )
+        return good, bad
+
+    def _objective(
+        self,
+        fault: StuckAtFault,
+        good: Dict[str, int],
+        bad: Dict[str, int],
+    ) -> Optional[Tuple[str, int]]:
+        """Next (signal, value) goal, or None when no progress is possible."""
+        gv = good[fault.signal]
+        if gv == X:
+            # activate the fault: drive the site to the opposite value
+            return fault.signal, 1 - fault.value
+        if gv == fault.value:
+            return None  # site pinned to the stuck value: dead branch
+        # fault active: advance the D frontier
+        for cell in self.order:
+            out_g, out_b = good[cell.output], bad[cell.output]
+            if not (out_g == X or out_b == X):
+                continue
+            has_d = any(
+                good[s] != bad[s] and X not in (good[s], bad[s])
+                for s in cell.inputs
+            )
+            if not has_d:
+                continue
+            ctrl, _ = _GATE_CTRL[cell.gtype]
+            for s in cell.inputs:
+                if good[s] == X:
+                    want = 1 - ctrl if ctrl is not None else 0
+                    return s, want
+        return None
+
+    def _backtrace(
+        self, signal: str, value: int, good: Dict[str, int]
+    ) -> Optional[Tuple[str, int]]:
+        """Walk the objective back to an unassigned pseudo-primary input."""
+        guard = len(self.order) + len(self.pis) + 1
+        while guard:
+            guard -= 1
+            if signal in self.pis:
+                return (signal, value) if good[signal] == X else None
+            cell = self.netlist.cell(signal)
+            ctrl, inv = _GATE_CTRL[cell.gtype]
+            value ^= inv
+            x_inputs = [s for s in cell.inputs if good[s] == X]
+            if not x_inputs:
+                return None
+            if ctrl is not None and value == ctrl:
+                signal = x_inputs[0]  # one controlling input suffices
+                value = ctrl
+            elif ctrl is not None:
+                signal = x_inputs[0]  # all inputs non-controlling
+                value = 1 - ctrl
+            else:
+                signal = x_inputs[0]
+                # XOR family: target parity of the remaining X inputs
+                known = [good[s] for s in cell.inputs if good[s] != X]
+                acc = 0
+                for v in known:
+                    acc ^= v
+                value = value ^ acc if len(x_inputs) == 1 else value
+        return None  # pragma: no cover - guarded loop
+
+    def _detected(self, good: Dict[str, int], bad: Dict[str, int]) -> bool:
+        return any(
+            good[o] != bad[o] and X not in (good[o], bad[o])
+            for o in self.outputs
+        )
+
+    def _possible(self, good: Dict[str, int], bad: Dict[str, int], fault) -> bool:
+        """X-path heuristic: a difference can still reach an output."""
+        if self._detected(good, bad):
+            return True
+        if good[fault.signal] == fault.value:
+            return False
+        # any output still X in either machine keeps hope alive
+        return any(good[o] == X or bad[o] == X for o in self.outputs)
+
+    # ------------------------------------------------------------------
+    def run(
+        self, fault: StuckAtFault, max_backtracks: int = 2000
+    ) -> TestResult:
+        """Generate a test for ``fault`` (see module docs for semantics)."""
+        if not self.netlist.has_signal(fault.signal):
+            raise SimulationError(f"unknown fault site {fault.signal!r}")
+        assignment: Dict[str, int] = {}
+        # decision stack: (pi, first_value, tried_both)
+        stack: List[Tuple[str, int, bool]] = []
+        backtracks = 0
+        while True:
+            good, bad = self._simulate(assignment, fault)
+            if self._detected(good, bad):
+                return TestResult(
+                    fault=fault,
+                    status=Status.DETECTED,
+                    vector=dict(assignment),
+                    backtracks=backtracks,
+                )
+            objective = (
+                self._objective(fault, good, bad)
+                if self._possible(good, bad, fault)
+                else None
+            )
+            decision = (
+                self._backtrace(*objective, good) if objective else None
+            )
+            if decision is not None:
+                pi, value = decision
+                assignment[pi] = value
+                stack.append((pi, value, False))
+                continue
+            # dead end: flip the most recent untried decision
+            flipped = False
+            while stack:
+                pi, value, tried = stack.pop()
+                del assignment[pi]
+                if not tried:
+                    backtracks += 1
+                    if backtracks > max_backtracks:
+                        return TestResult(
+                            fault=fault,
+                            status=Status.ABORTED,
+                            backtracks=backtracks,
+                        )
+                    assignment[pi] = 1 - value
+                    stack.append((pi, 1 - value, True))
+                    flipped = True
+                    break
+            if not flipped:
+                return TestResult(
+                    fault=fault,
+                    status=Status.REDUNDANT,
+                    backtracks=backtracks,
+                )
+
+
+def generate_test(
+    netlist: Netlist,
+    fault: StuckAtFault,
+    max_backtracks: int = 2000,
+    observe: Optional[Sequence[str]] = None,
+) -> TestResult:
+    """One-shot PODEM invocation (builds a fresh engine)."""
+    return PodemEngine(netlist, observe=observe).run(
+        fault, max_backtracks=max_backtracks
+    )
+
+
+@dataclass
+class ATPGSummary:
+    """Aggregate ATPG outcome over a fault list."""
+
+    results: List[TestResult] = field(default_factory=list)
+
+    @property
+    def detected(self) -> List[TestResult]:
+        return [r for r in self.results if r.status is Status.DETECTED]
+
+    @property
+    def redundant(self) -> List[TestResult]:
+        return [r for r in self.results if r.status is Status.REDUNDANT]
+
+    @property
+    def aborted(self) -> List[TestResult]:
+        return [r for r in self.results if r.status is Status.ABORTED]
+
+    @property
+    def testable_coverage(self) -> float:
+        """Detected over non-redundant faults (the ATPG efficiency metric)."""
+        testable = len(self.results) - len(self.redundant)
+        return len(self.detected) / testable if testable else 1.0
+
+
+def atpg_all(
+    netlist: Netlist,
+    faults: Iterable[StuckAtFault],
+    max_backtracks: int = 2000,
+    observe: Optional[Sequence[str]] = None,
+) -> ATPGSummary:
+    """Run PODEM over a fault list with a shared engine."""
+    engine = PodemEngine(netlist, observe=observe)
+    summary = ATPGSummary()
+    for fault in faults:
+        summary.results.append(engine.run(fault, max_backtracks))
+    return summary

@@ -1,0 +1,103 @@
+"""Maximal-length LFSR with all-state (complete-cycle) modification.
+
+In TPG mode a CBIT behaves as an autonomous LFSR.  The plain Fibonacci
+LFSR over a primitive polynomial cycles through the ``2^n − 1`` non-zero
+states; the A_CELL's NOR term injects the all-zero state into the cycle
+(the classic *complete* LFSR trick: the feedback bit is additionally
+inverted when the ``n−1`` low-order state bits are all zero), so a CBIT of
+width ``n`` emits **all** ``2^n`` patterns — the pseudo-exhaustive test
+set of its circuit segment — in ``2^n`` clocks.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from ..errors import CBITError
+from .polynomials import is_primitive, poly_degree, primitive_polynomial
+
+__all__ = ["LFSR"]
+
+
+class LFSR:
+    """Fibonacci LFSR, optionally with the complete-cycle modification.
+
+    State convention: bit ``j`` of :attr:`state` holds sequence element
+    ``a_{k+j}``; each step shifts toward lower indices and inserts the
+    feedback bit at stage ``n−1``.  With characteristic polynomial
+    ``p(x) = x^n + Σ c_j x^j`` the recurrence is
+    ``a_{k+n} = Σ c_j a_{k+j}``, i.e. the feedback is the parity of
+    ``state & (p & (2^n − 1))`` — maximal period for primitive ``p``.
+
+    Example — a complete width-4 CBIT visits all 16 states:
+        >>> lfsr = LFSR(4)
+        >>> states = [lfsr.step() for _ in range(16)]
+        >>> sorted(states) == list(range(16))
+        True
+    """
+
+    def __init__(
+        self,
+        width: int,
+        poly: Optional[int] = None,
+        seed: int = 1,
+        complete: bool = True,
+    ):
+        if width < 2:
+            raise CBITError(f"LFSR width must be >= 2, got {width}")
+        self.width = width
+        self.poly = poly if poly is not None else primitive_polynomial(width)
+        if poly_degree(self.poly) != width:
+            raise CBITError(
+                f"polynomial degree {poly_degree(self.poly)} does not match "
+                f"width {width}"
+            )
+        if not is_primitive(self.poly):
+            raise CBITError(
+                f"feedback polynomial {bin(self.poly)} is not primitive; "
+                f"the CBIT would not be maximal-length"
+            )
+        self.complete = complete
+        self._mask = (1 << width) - 1
+        #: Feedback tap mask: state bits XORed to form the feedback
+        #: (all terms of the characteristic polynomial except x^width,
+        #: with the constant term mapping to stage 0... stage i holds x^i).
+        self._taps = self.poly & self._mask
+        self.state = seed & self._mask
+        if not complete and self.state == 0:
+            raise CBITError("non-complete LFSR cannot start in the zero state")
+
+    def _feedback(self) -> int:
+        fb = bin(self.state & self._taps).count("1") & 1
+        if self.complete:
+            # NOR of the n-1 stages that survive the shift (bits 1..n-1):
+            # splices the all-zero state into the maximal cycle.
+            if (self.state >> 1) == 0:
+                fb ^= 1
+        return fb
+
+    def step(self) -> int:
+        """Advance one clock; returns the new state (the emitted pattern)."""
+        fb = self._feedback()
+        self.state = (self.state >> 1) | (fb << (self.width - 1))
+        return self.state
+
+    def sequence(self, n: Optional[int] = None) -> Iterator[int]:
+        """Yield ``n`` successive states (default: one full period).
+
+        The full period is ``2^width`` for a complete LFSR and
+        ``2^width − 1`` otherwise.
+        """
+        if n is None:
+            n = (1 << self.width) - (0 if self.complete else 1)
+        for _ in range(n):
+            yield self.step()
+
+    def period(self, limit: Optional[int] = None) -> int:
+        """Measure the actual cycle length from the current state."""
+        start = self.state
+        limit = limit if limit is not None else (1 << self.width) + 1
+        for i in range(1, limit + 1):
+            if self.step() == start:
+                return i
+        raise CBITError(f"no cycle within {limit} steps")  # pragma: no cover

@@ -1,0 +1,18 @@
+"""Benchmark circuits: exact s27 + synthetic ISCAS89-profile stand-ins."""
+
+from .generator import generate_by_name, generate_circuit
+from .library import available_circuits, load_circuit
+from .profiles import CircuitProfile, TABLE9_PROFILES, profile_by_name
+from .s27 import S27_BENCH, s27_netlist
+
+__all__ = [
+    "generate_by_name",
+    "generate_circuit",
+    "available_circuits",
+    "load_circuit",
+    "CircuitProfile",
+    "TABLE9_PROFILES",
+    "profile_by_name",
+    "S27_BENCH",
+    "s27_netlist",
+]

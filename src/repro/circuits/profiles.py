@@ -1,0 +1,67 @@
+"""Table 9 circuit profiles — the statistics of the 17 ISCAS89 test cases.
+
+The actual ISCAS89 netlists are not shipped (see DESIGN.md §4); these
+profiles drive the synthetic generator so that every algorithm sees inputs
+with the published size, fan-in mix, register count and area.  The paper's
+Tables 10/11 additionally report how many DFFs sit on SCCs; the profile's
+``dffs_on_scc`` target reproduces that structural property.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+__all__ = ["CircuitProfile", "TABLE9_PROFILES", "profile_by_name"]
+
+
+@dataclass(frozen=True)
+class CircuitProfile:
+    """One row of Table 9 (+ the DFFs-on-SCC column of Tables 10/11)."""
+
+    name: str
+    n_inputs: int
+    n_dffs: int
+    n_gates: int  # non-inverter combinational gates
+    n_inverters: int
+    paper_area: int  # Table 9 "Estimated Area"
+    dffs_on_scc: int  # Tables 10/11, column 3
+    n_outputs: int = 1
+
+    @property
+    def n_cells(self) -> int:
+        return self.n_dffs + self.n_gates + self.n_inverters
+
+
+#: name → profile, in Table 9 order.
+TABLE9_PROFILES: Dict[str, CircuitProfile] = {
+    p.name: p
+    for p in (
+        CircuitProfile("s510", 19, 6, 179, 32, 547, 6, n_outputs=7),
+        CircuitProfile("s420.1", 18, 16, 140, 78, 620, 16, n_outputs=1),
+        CircuitProfile("s641", 35, 19, 107, 272, 832, 15, n_outputs=24),
+        CircuitProfile("s713", 35, 19, 139, 254, 892, 15, n_outputs=23),
+        CircuitProfile("s820", 18, 5, 256, 33, 943, 5, n_outputs=19),
+        CircuitProfile("s832", 18, 5, 262, 25, 961, 5, n_outputs=19),
+        CircuitProfile("s838.1", 34, 32, 288, 158, 1268, 32, n_outputs=1),
+        CircuitProfile("s1423", 17, 74, 490, 167, 2238, 71, n_outputs=5),
+        CircuitProfile("s5378", 35, 179, 1004, 1775, 6241, 124, n_outputs=49),
+        CircuitProfile("s9234.1", 36, 211, 2027, 3570, 11467, 172, n_outputs=39),
+        CircuitProfile("s9234", 19, 228, 2027, 3570, 11637, 173, n_outputs=22),
+        CircuitProfile("s13207.1", 62, 638, 2573, 5378, 19171, 462, n_outputs=152),
+        CircuitProfile("s13207", 31, 669, 2573, 5378, 19476, 463, n_outputs=121),
+        CircuitProfile("s15850.1", 77, 534, 3448, 6324, 21305, 487, n_outputs=150),
+        CircuitProfile("s35932", 35, 1728, 12204, 3861, 50625, 1728, n_outputs=320),
+        CircuitProfile("s38417", 28, 1636, 8709, 13470, 52768, 1166, n_outputs=106),
+        CircuitProfile("s38584.1", 38, 1426, 11448, 7805, 55147, 1424, n_outputs=304),
+    )
+}
+
+
+def profile_by_name(name: str) -> CircuitProfile:
+    """Look up a Table 9 profile; raises ``KeyError`` with suggestions."""
+    try:
+        return TABLE9_PROFILES[name]
+    except KeyError:
+        known = ", ".join(sorted(TABLE9_PROFILES))
+        raise KeyError(f"unknown circuit profile {name!r}; known: {known}") from None

@@ -1,0 +1,60 @@
+"""The ISCAS89 s27 benchmark — the paper's running example (Figure 2).
+
+s27 is small enough to be public knowledge (it is reprinted in the paper
+itself): 4 primary inputs, 1 primary output, 3 DFFs and 10 combinational
+gates.  We embed it exactly, both as a netlist builder and as the original
+``.bench`` text.
+"""
+
+from __future__ import annotations
+
+from ..netlist.gates import GateType
+from ..netlist.netlist import Netlist
+
+__all__ = ["s27_netlist", "S27_BENCH"]
+
+#: Canonical ISCAS89 s27 in .bench format.
+S27_BENCH = """\
+# s27
+INPUT(G0)
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+OUTPUT(G17)
+G5 = DFF(G10)
+G6 = DFF(G11)
+G7 = DFF(G13)
+G14 = NOT(G0)
+G17 = NOT(G11)
+G8 = AND(G14, G6)
+G15 = OR(G12, G8)
+G16 = OR(G3, G8)
+G9 = NAND(G16, G15)
+G10 = NOR(G14, G11)
+G11 = NOR(G5, G9)
+G12 = NOR(G1, G7)
+G13 = NOR(G2, G12)
+"""
+
+
+def s27_netlist() -> Netlist:
+    """Build the exact s27 netlist (validated)."""
+    nl = Netlist("s27")
+    for pi in ("G0", "G1", "G2", "G3"):
+        nl.add_input(pi)
+    nl.add_output("G17")
+    nl.add_dff("G5", "G10")
+    nl.add_dff("G6", "G11")
+    nl.add_dff("G7", "G13")
+    nl.add_gate("G14", GateType.NOT, ["G0"])
+    nl.add_gate("G17", GateType.NOT, ["G11"])
+    nl.add_gate("G8", GateType.AND, ["G14", "G6"])
+    nl.add_gate("G15", GateType.OR, ["G12", "G8"])
+    nl.add_gate("G16", GateType.OR, ["G3", "G8"])
+    nl.add_gate("G9", GateType.NAND, ["G16", "G15"])
+    nl.add_gate("G10", GateType.NOR, ["G14", "G11"])
+    nl.add_gate("G11", GateType.NOR, ["G5", "G9"])
+    nl.add_gate("G12", GateType.NOR, ["G1", "G7"])
+    nl.add_gate("G13", GateType.NOR, ["G2", "G12"])
+    nl.validate()
+    return nl

@@ -1,0 +1,96 @@
+"""Merced configuration (the paper's Section 4.1 parameter set).
+
+Defaults follow the values the authors settled on: ``b = 1``,
+``min_visit = 20``, ``α = 4``, ``Δ = 0.01``, ``β = 50``; the CUT input
+bound ``l_k`` defaults to 16 (CBIT type d4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from .errors import ConfigError
+
+__all__ = ["MercedConfig", "DEFAULT_CONFIG"]
+
+
+@dataclass(frozen=True)
+class MercedConfig:
+    """All tunables of the Merced BIST compiler.
+
+    Attributes:
+        lk: input-size bound ``l_k`` per CUT/CBIT (Eq. 5). Testing time is
+            ``O(2^lk)`` clock cycles per test pipe.
+        delta: flow increment ``Δ`` injected per shortest-path net
+            (Table 3, STEP 3.3.1).
+        alpha: congestion exponent ``α`` in
+            ``d(e) = exp(α · flow(e)/cap(e))`` (STEP 3.3.2).
+        cap: uniform net capacity ``b`` (STEP 1.1).
+        min_visit: fairness threshold — saturation continues until every
+            node has been a Dijkstra source at least this many times.
+        beta: SCC cut-budget multiplier ``β`` of Eq. 6
+            (``χ(λ) ≤ β · f(λ)``); ``β = 50`` effectively un-constrains
+            partitioning, smaller values trade cuts for testing time.
+        seed: RNG seed for the stochastic source selection; fixed by
+            default so runs are reproducible.
+        max_sources: optional cap on the total number of Dijkstra source
+            injections during ``Saturate_Network``.  The paper runs
+            ``min_visit × |V|`` injections (on a 1996 workstation, in C);
+            in Python that is prohibitive beyond a few thousand nodes, so
+            large-circuit benches cap the sample while keeping the source
+            selection fair (sampling without replacement across rounds).
+            ``None`` (default) is the paper-faithful behaviour.
+        merge_clusters: run the greedy ``Assign_CBIT`` merging pass
+            (Table 8). Disabling it is the paper's implicit baseline of one
+            CBIT per raw cluster (used by our ablation benches).
+    """
+
+    lk: int = 16
+    delta: float = 0.01
+    alpha: float = 4.0
+    cap: float = 1.0
+    min_visit: int = 20
+    beta: int = 50
+    seed: Optional[int] = 1996
+    max_sources: Optional[int] = None
+    merge_clusters: bool = True
+
+    def __post_init__(self) -> None:
+        if self.lk < 1:
+            raise ConfigError(f"lk must be positive, got {self.lk}")
+        if self.delta <= 0:
+            raise ConfigError(f"delta must be positive, got {self.delta}")
+        if self.alpha <= 0:
+            raise ConfigError(f"alpha must be positive, got {self.alpha}")
+        if self.cap <= 0:
+            raise ConfigError(f"cap must be positive, got {self.cap}")
+        if self.min_visit < 1:
+            raise ConfigError(
+                f"min_visit must be at least 1, got {self.min_visit}"
+            )
+        if self.beta < 1:
+            raise ConfigError(f"beta must be an integer >= 1, got {self.beta}")
+        if self.max_sources is not None and self.max_sources < 1:
+            raise ConfigError(
+                f"max_sources must be positive or None, got {self.max_sources}"
+            )
+
+    @property
+    def average_flow_bound_ok(self) -> bool:
+        """Section 4.1 guidance: ``min_visit × Δ ≤ b`` keeps flows below cap."""
+        return self.min_visit * self.delta <= self.cap
+
+    def with_lk(self, lk: int) -> "MercedConfig":
+        """Copy of this configuration with a different input bound."""
+        return replace(self, lk=lk)
+
+    def with_seed(self, seed: Optional[int]) -> "MercedConfig":
+        return replace(self, seed=seed)
+
+    def with_beta(self, beta: int) -> "MercedConfig":
+        return replace(self, beta=beta)
+
+
+#: The paper's published parameter set.
+DEFAULT_CONFIG = MercedConfig()

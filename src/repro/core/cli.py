@@ -1,0 +1,167 @@
+"""``merced`` command-line entry point.
+
+Examples::
+
+    merced s27 --lk 3
+    merced s5378 --lk 16 --max-sources 1500
+    merced --bench mydesign.bench --lk 24 --selftest
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from ..circuits.library import available_circuits, load_circuit
+from ..config import MercedConfig
+from ..errors import ReproError
+from ..netlist.bench import parse_bench_file
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the ``merced`` argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="merced",
+        description=(
+            "Merced BIST compiler: partition a synchronous circuit for "
+            "pipelined pseudo-exhaustive testing with retiming "
+            "(Liou/Lin/Cheng, DAC 1996)."
+        ),
+    )
+    parser.add_argument(
+        "circuit",
+        nargs="?",
+        help=f"benchmark name ({', '.join(available_circuits()[:4])}, ...)",
+    )
+    parser.add_argument("--bench", help="load an ISCAS89 .bench file instead")
+    parser.add_argument("--lk", type=int, default=16, help="CUT input bound l_k")
+    parser.add_argument("--beta", type=int, default=50, help="SCC cut budget factor (Eq. 6)")
+    parser.add_argument("--seed", type=int, default=1996, help="flow RNG seed")
+    parser.add_argument(
+        "--max-sources",
+        type=int,
+        default=None,
+        help="cap Saturate_Network Dijkstra sources (speed/fidelity knob)",
+    )
+    parser.add_argument(
+        "--solver",
+        action="store_true",
+        help="use the exact retiming solver for retimability accounting",
+    )
+    parser.add_argument(
+        "--selftest",
+        action="store_true",
+        help="also simulate the PPET self-test session (small circuits)",
+    )
+    parser.add_argument(
+        "--bist-out",
+        metavar="FILE",
+        help="emit the test-ready netlist (A_CELLs + scan) to FILE (.bench)",
+    )
+    parser.add_argument(
+        "--verilog-out",
+        metavar="FILE",
+        help="emit the circuit (or, with --bist-out, the BIST netlist) as "
+        "structural Verilog",
+    )
+    parser.add_argument(
+        "--list",
+        action="store_true",
+        help="list the available benchmark circuits and exit",
+    )
+    parser.add_argument(
+        "--retime",
+        action="store_true",
+        help="solve and apply the cut retiming; report the register moves",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point of the ``merced`` console script; returns the exit code."""
+    args = build_parser().parse_args(argv)
+    if args.list:
+        from ..circuits.profiles import TABLE9_PROFILES
+
+        print("s27 (exact ISCAS89)")
+        for name, p in TABLE9_PROFILES.items():
+            print(
+                f"{name} (synthetic: {p.n_inputs} PI, {p.n_dffs} DFF, "
+                f"{p.n_gates + p.n_inverters} gates, area {p.paper_area})"
+            )
+        return 0
+    if not args.circuit and not args.bench:
+        print("error: give a benchmark name or --bench FILE", file=sys.stderr)
+        return 2
+    try:
+        if args.bench:
+            netlist = parse_bench_file(args.bench)
+        else:
+            netlist = load_circuit(args.circuit)
+        config = MercedConfig(
+            lk=args.lk,
+            beta=args.beta,
+            seed=args.seed,
+            max_sources=args.max_sources,
+        )
+        from .merced import Merced
+
+        report = Merced(config).run(
+            netlist, retimable_method="solver" if args.solver else "scc-budget"
+        )
+        print(report.render())
+        if args.selftest:
+            from ..ppet.session import PPETSession
+
+            session = PPETSession(netlist, report.partition, report.plan)
+            print()
+            print(session.run().render())
+        if args.retime:
+            from ..graphs.build import build_circuit_graph
+            from ..retiming.apply import apply_retiming
+            from ..retiming.solve import solve_cut_retiming
+
+            graph = build_circuit_graph(netlist, with_po_nodes=True)
+            solution = solve_cut_retiming(
+                graph, report.partition.cut_nets()
+            )
+            retimed = apply_retiming(netlist, solution.retiming.rho)
+            print()
+            print(
+                f"retiming: {len(solution.covered_cuts)} cut(s) covered by "
+                f"functional DFFs, {len(solution.dropped_cuts)} need MUXed "
+                f"A_CELLs; registers {retimed.n_registers_before} -> "
+                f"{retimed.n_registers_after}"
+            )
+        emitted = netlist
+        if args.bist_out:
+            from ..cbit.insert import insert_test_hardware
+            from ..netlist.bench import write_bench_file
+
+            bist = insert_test_hardware(
+                netlist, report.partition, include_scan=True
+            )
+            write_bench_file(bist.netlist, args.bist_out)
+            emitted = bist.netlist
+            print()
+            print(
+                f"BIST netlist written to {args.bist_out}: "
+                f"{len(bist.cut_cells)} A_CELLs, "
+                f"{bist.added_area_units} units of test hardware"
+            )
+        if args.verilog_out:
+            from ..netlist.verilog import write_verilog_file
+
+            write_verilog_file(emitted, args.verilog_out)
+            print(f"Verilog written to {args.verilog_out}")
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,209 @@
+"""Merced — the BIST compiler (Table 2 of the paper).
+
+STEP 1  build ``G(V, E)`` from the netlist;
+STEP 2  identify the strongly connected components;
+STEP 3  ``Assign_CBIT(G, Δ, α, l_k)`` honouring Eq. 6 — which internally
+        saturates the network (Table 3) and clusters it (Tables 4–7);
+STEP 4  return the partition ``P`` and its cost.
+
+On top of the paper's steps, the report carries the Table 10/11 row
+(cut-net statistics + CPU time) and the Table 12 area comparison.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional, Set
+
+from ..cbit.assemble import assemble_cbits
+from ..circuits.library import load_circuit
+from ..config import MercedConfig
+from ..graphs.build import build_circuit_graph
+from ..graphs.scc import SCCIndex
+from ..netlist.netlist import Netlist
+from ..partition.assign_cbit import assign_cbit
+from ..partition.make_group import make_group
+from .cost import compare_cbit_area
+from .result import MercedReport, PartitionRow
+
+__all__ = ["Merced", "CompilationArtifacts", "compile_circuit"]
+
+
+class Merced:
+    """Compile a synchronous netlist into a PPET-testable partition.
+
+    Example:
+        >>> from repro import Merced, MercedConfig, load_circuit
+        >>> report = Merced(MercedConfig(lk=3, seed=7)).run(load_circuit("s27"))
+        >>> report.n_partitions
+        4
+    """
+
+    def __init__(self, config: Optional[MercedConfig] = None):
+        self.config = config or MercedConfig()
+
+    def run(
+        self,
+        netlist: Netlist,
+        locked: Optional[Set[str]] = None,
+        retimable_method: str = "scc-budget",
+    ) -> MercedReport:
+        """Run STEPs 1–4 on ``netlist`` and return the full report.
+
+        Args:
+            netlist: a validated synchronous circuit.
+            locked: cell names Merced must not regroup (Table 5 option).
+            retimable_method: ``"scc-budget"`` (paper accounting) or
+                ``"solver"`` (exact retiming feasibility).
+        """
+        netlist.validate()
+        t0 = time.perf_counter()
+        graph = build_circuit_graph(netlist, with_po_nodes=False)  # STEP 1
+        scc_index = SCCIndex(graph)  # STEP 2
+        group = make_group(  # STEP 3 (Tables 3-7)
+            graph, scc_index, self.config, locked=locked
+        )
+        if self.config.merge_clusters:
+            assigned = assign_cbit(group.partition)  # STEP 3 (Table 8)
+            partition = assigned.partition
+            cost_dff = assigned.cost_dff
+            n_merges = assigned.n_merges
+        else:
+            from ..cbit.types import cbit_cost_for_inputs
+
+            partition = group.partition
+            cost_dff = sum(
+                cbit_cost_for_inputs(c.input_count)[0]
+                for c in partition.clusters
+            )
+            n_merges = 0
+        cpu = time.perf_counter() - t0
+
+        cut_nets = partition.cut_nets()
+        stats = netlist.stats()
+        area = compare_cbit_area(
+            circuit=stats.name,
+            lk=self.config.lk,
+            circuit_area_units=stats.area_units,
+            cut_nets=cut_nets,
+            scc_index=scc_index,
+            method=retimable_method,
+            graph=graph if retimable_method == "solver" else None,
+        )
+        row = PartitionRow(
+            circuit=stats.name,
+            n_dffs=stats.n_dffs,
+            n_dffs_on_scc=scc_index.registers_on_sccs(),
+            n_cut_nets_on_scc=area.n_cut_nets_on_scc,
+            n_cut_nets=area.n_cut_nets,
+            cpu_seconds=cpu,
+        )
+        plan = assemble_cbits(partition)
+        return MercedReport(
+            circuit_stats=stats,
+            config=self.config,
+            partition=partition,
+            plan=plan,
+            area=area,
+            row=row,
+            n_merges=n_merges,
+            n_splits=group.n_splits,
+            saturation_sources=group.saturation.n_sources,
+            cost_dff=cost_dff,
+        )
+
+    def run_named(self, name: str, **kwargs) -> MercedReport:
+        """Convenience: :func:`repro.circuits.load_circuit` then :meth:`run`."""
+        return self.run(load_circuit(name), **kwargs)
+
+
+class CompilationArtifacts:
+    """Everything :meth:`Merced.compile` produces in one call.
+
+    Attributes:
+        report: the partition/cost report (STEP 4 of Table 2).
+        retiming: the cut-retiming solution (which cuts existing DFFs can
+            cover), or ``None`` when ``retime=False``.
+        retimed: the retimed netlist wrapper, or ``None``.
+        bist: the emitted test-ready netlist, or ``None`` when
+            ``emit_bist=False``.
+    """
+
+    def __init__(self, report, retiming=None, retimed=None, bist=None):
+        self.report = report
+        self.retiming = retiming
+        self.retimed = retimed
+        self.bist = bist
+
+    def summary(self) -> str:
+        lines = [self.report.render()]
+        if self.retiming is not None:
+            lines.append(
+                f"retiming: {len(self.retiming.covered_cuts)} covered, "
+                f"{len(self.retiming.dropped_cuts)} muxed"
+            )
+        if self.bist is not None:
+            lines.append(
+                f"BIST netlist: {self.bist.netlist.name} "
+                f"(+{self.bist.added_area_units} units)"
+            )
+        return "\n".join(lines)
+
+
+def compile_circuit(
+    netlist,
+    config: Optional[MercedConfig] = None,
+    retime: bool = True,
+    emit_bist: bool = True,
+    pin_io: bool = False,
+    bist_kwargs: Optional[dict] = None,
+) -> CompilationArtifacts:
+    """One-call BIST compilation: partition, retime, emit hardware.
+
+    Args:
+        netlist: the circuit to compile.
+        config: Merced parameters.
+        retime: solve the cut retiming and apply it (the paper's area
+            optimization); the *original* netlist is what the BIST
+            inserter modifies — retiming results are reported alongside
+            so a flow can choose which netlist to take forward.
+        emit_bist: insert the test hardware (dual-mode, scan).
+        pin_io: strict I/O-latency-preserving retiming (host condition).
+        bist_kwargs: forwarded to
+            :func:`repro.cbit.insert.insert_test_hardware`.
+
+    Example:
+        >>> from repro import load_circuit, MercedConfig
+        >>> from repro.core.merced import compile_circuit
+        >>> arts = compile_circuit(
+        ...     load_circuit("s27"), MercedConfig(lk=3, seed=7)
+        ... )
+        >>> arts.report.n_partitions >= 3 and arts.bist is not None
+        True
+    """
+    merced = Merced(config)
+    report = merced.run(netlist)
+    retiming = retimed = bist = None
+    if retime:
+        from ..retiming.apply import apply_retiming
+        from ..retiming.solve import solve_cut_retiming
+
+        graph = build_circuit_graph(netlist, with_po_nodes=True)
+        retiming = solve_cut_retiming(
+            graph, report.partition.cut_nets(), pin_io=pin_io
+        )
+        retimed = apply_retiming(netlist, retiming.retiming.rho)
+    if emit_bist:
+        from ..cbit.insert import insert_test_hardware
+
+        kwargs = dict(
+            include_scan=True,
+            include_primary_inputs=True,
+            include_primary_outputs=True,
+            dual_mode_controls=True,
+        )
+        kwargs.update(bist_kwargs or {})
+        bist = insert_test_hardware(netlist, report.partition, **kwargs)
+    return CompilationArtifacts(
+        report=report, retiming=retiming, retimed=retimed, bist=bist
+    )

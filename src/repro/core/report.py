@@ -1,0 +1,87 @@
+"""Plain-text table rendering in the shape of the paper's tables."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Tuple
+
+from ..netlist.netlist import CircuitStats
+from .cost import CBITAreaComparison
+from .result import PartitionRow
+
+__all__ = [
+    "format_table",
+    "render_table9",
+    "render_table10_11",
+    "render_table12",
+]
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence], min_width: int = 6
+) -> str:
+    """Monospace table with right-aligned numeric columns."""
+    rows = [[_fmt(v) for v in row] for row in rows]
+    widths = [max(min_width, len(h)) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def line(cells, pad=" "):
+        return " | ".join(c.rjust(w, pad) for c, w in zip(cells, widths))
+    out = [line(headers), line(["-" * w for w in widths], pad="-")]
+    out.extend(line(r) for r in rows)
+    return "\n".join(out)
+
+
+def _fmt(v) -> str:
+    if isinstance(v, float):
+        return f"{v:.1f}" if abs(v) >= 0.05 or v == 0 else f"{v:.3f}"
+    return str(v)
+
+
+def render_table9(stats: Iterable[CircuitStats]) -> str:
+    """Circuit statistics table (paper Table 9)."""
+    headers = ["Circuit", "PIs", "DFFs", "Gates", "INVs", "Area"]
+    rows = [
+        (s.name, s.n_inputs, s.n_dffs, s.n_gates, s.n_inverters, s.area_units)
+        for s in stats
+    ]
+    return format_table(headers, rows)
+
+
+def render_table10_11(rows: Iterable[PartitionRow], lk: int) -> str:
+    """Partition results table (paper Tables 10/11)."""
+    headers = [
+        "Circuit",
+        "DFFs",
+        "DFFs on SCC",
+        "cuts on SCC",
+        "nets cut",
+        "CPU (s)",
+    ]
+    body = [r.as_tuple() for r in rows]
+    return f"Partition results for l_k = {lk}\n" + format_table(headers, body)
+
+
+def render_table12(
+    comparisons: Iterable[Tuple[CBITAreaComparison, CBITAreaComparison]]
+) -> str:
+    """CBIT-area comparison table (paper Table 12): (lk16, lk24) pairs."""
+    headers = [
+        "Circuit",
+        "lk16 w/ ret (%)",
+        "lk16 w/o ret (%)",
+        "lk24 w/ ret (%)",
+        "lk24 w/o ret (%)",
+    ]
+    rows = []
+    for c16, c24 in comparisons:
+        rows.append(
+            (
+                c16.circuit,
+                c16.pct_with_retiming,
+                c16.pct_without_retiming,
+                c24.pct_with_retiming,
+                c24.pct_without_retiming,
+            )
+        )
+    return format_table(headers, rows)

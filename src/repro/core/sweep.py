@@ -1,0 +1,159 @@
+"""Parameter sweeps over the Merced compiler.
+
+Programmatic versions of the studies the paper discusses narratively:
+the ``l_k`` testing-time/area frontier (§2.4, Figure 4), the β cut-budget
+trade-off (§4.1), and seed stability of the randomized flow process
+(§3.3's variance discussion).  Each sweep returns plain row dataclasses
+that the report renderer can tabulate.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..config import MercedConfig
+from ..errors import InfeasiblePartitionError
+from ..graphs.build import build_circuit_graph
+from ..graphs.scc import SCCIndex
+from ..netlist.netlist import Netlist
+from ..partition.assign_cbit import assign_cbit
+from ..partition.make_group import make_group
+from .merced import Merced
+
+__all__ = [
+    "LkSweepRow",
+    "sweep_lk",
+    "BetaSweepRow",
+    "sweep_beta",
+    "SeedStability",
+    "seed_stability",
+]
+
+
+@dataclass(frozen=True)
+class LkSweepRow:
+    """One point on the l_k frontier."""
+
+    lk: int
+    n_partitions: int
+    n_cut_nets: int
+    n_cut_nets_on_scc: int
+    cost_dff: float
+    pct_with_retiming: float
+    pct_without_retiming: float
+
+    @property
+    def testing_time(self) -> int:
+        return 1 << self.lk
+
+
+def sweep_lk(
+    netlist: Netlist,
+    lks: Sequence[int],
+    config: Optional[MercedConfig] = None,
+) -> List[LkSweepRow]:
+    """Run Merced at each ``l_k`` and collect the frontier."""
+    base = config or MercedConfig()
+    rows: List[LkSweepRow] = []
+    for lk in lks:
+        report = Merced(base.with_lk(lk)).run(netlist.copy())
+        rows.append(
+            LkSweepRow(
+                lk=lk,
+                n_partitions=report.n_partitions,
+                n_cut_nets=report.area.n_cut_nets,
+                n_cut_nets_on_scc=report.area.n_cut_nets_on_scc,
+                cost_dff=report.cost_dff,
+                pct_with_retiming=report.area.pct_with_retiming,
+                pct_without_retiming=report.area.pct_without_retiming,
+            )
+        )
+    return rows
+
+
+@dataclass(frozen=True)
+class BetaSweepRow:
+    """One point on the Eq. 6 budget trade-off."""
+
+    beta: int
+    n_cut_nets: int
+    n_cut_nets_on_scc: int
+    max_input_count: int
+    n_oversized: int  # clusters exceeding l_k (welded SCCs)
+
+    @property
+    def feasible(self) -> bool:
+        return self.n_oversized == 0
+
+
+def sweep_beta(
+    netlist: Netlist,
+    betas: Sequence[int],
+    config: Optional[MercedConfig] = None,
+) -> List[BetaSweepRow]:
+    """Partition at each β without raising on welded (oversized) SCCs."""
+    base = config or MercedConfig()
+    rows: List[BetaSweepRow] = []
+    for beta in betas:
+        graph = build_circuit_graph(netlist, with_po_nodes=False)
+        scc = SCCIndex(graph)
+        group = make_group(graph, scc, base.with_beta(beta), strict=False)
+        merged = assign_cbit(group.partition)
+        p = merged.partition
+        oversized = [c for c in p.clusters if c.input_count > base.lk]
+        rows.append(
+            BetaSweepRow(
+                beta=beta,
+                n_cut_nets=len(p.cut_nets()),
+                n_cut_nets_on_scc=len(p.cut_nets_on_scc()),
+                max_input_count=p.max_input_count(),
+                n_oversized=len(oversized),
+            )
+        )
+    return rows
+
+
+@dataclass(frozen=True)
+class SeedStability:
+    """Spread of the randomized flow partitioner across seeds (§3.3)."""
+
+    seeds: tuple
+    cut_counts: tuple
+    cost_dffs: tuple
+
+    @property
+    def cut_mean(self) -> float:
+        return statistics.fmean(self.cut_counts)
+
+    @property
+    def cut_stdev(self) -> float:
+        return statistics.pstdev(self.cut_counts)
+
+    @property
+    def cut_spread(self) -> float:
+        """Relative spread (stdev/mean) — small means the stochastic
+        saturation converges to similar congestion pictures."""
+        mean = self.cut_mean
+        return self.cut_stdev / mean if mean else 0.0
+
+
+def seed_stability(
+    netlist: Netlist,
+    seeds: Sequence[int],
+    config: Optional[MercedConfig] = None,
+) -> SeedStability:
+    """Re-run Merced with different RNG seeds and summarize the spread."""
+    base = config or MercedConfig()
+    cuts: List[int] = []
+    costs: List[float] = []
+    for seed in seeds:
+        report = Merced(base.with_seed(seed)).run(netlist.copy())
+        cuts.append(report.area.n_cut_nets)
+        costs.append(report.cost_dff)
+    return SeedStability(
+        seeds=tuple(seeds),
+        cut_counts=tuple(cuts),
+        cost_dffs=tuple(costs),
+    )

@@ -1,0 +1,63 @@
+"""Exception hierarchy for the Merced PPET/retiming toolkit.
+
+Every error raised by the library derives from :class:`ReproError` so callers
+can catch library failures with a single ``except`` clause while still being
+able to discriminate the failing subsystem.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class NetlistError(ReproError):
+    """Structural problem in a gate-level netlist (bad connectivity, names, ...)."""
+
+
+class BenchParseError(NetlistError):
+    """An ISCAS89 ``.bench`` file could not be parsed."""
+
+    def __init__(self, message: str, line_no: int = 0, line: str = ""):
+        self.line_no = line_no
+        self.line = line
+        if line_no:
+            message = f"line {line_no}: {message} ({line.strip()!r})"
+        super().__init__(message)
+
+
+class GraphError(ReproError):
+    """Problem while building or querying the circuit graph."""
+
+
+class PartitionError(ReproError):
+    """The partitioning engine could not satisfy its constraints."""
+
+
+class InfeasiblePartitionError(PartitionError):
+    """No input-constraint partition exists for the requested ``l_k``.
+
+    Raised, e.g., when a primitive cell has more inputs than ``l_k``
+    (the paper's feasibility condition for the ``Make_Group`` loop).
+    """
+
+
+class RetimingError(ReproError):
+    """A retiming request violates the legal-retiming conditions (Eq. 3/6)."""
+
+
+class IllegalRetimingError(RetimingError):
+    """The requested register placement has no legal retiming solution."""
+
+
+class CBITError(ReproError):
+    """Problem constructing or simulating CBIT/LFSR/MISR hardware."""
+
+
+class SimulationError(ReproError):
+    """Logic- or fault-simulation failure (x-state misuse, bad vector width, ...)."""
+
+
+class ConfigError(ReproError):
+    """Invalid Merced configuration parameter."""

@@ -1,0 +1,23 @@
+"""Stuck-at fault substrate: model, collapsing, simulation, coverage."""
+
+from .model import StuckAtFault, fault_masks, full_fault_list
+from .collapse import CollapseResult, collapse_faults
+from .fsim import FaultSimResult, detecting_patterns, simulate_faults
+from .coverage import CoverageReport, merge_coverage
+from .scoap import ScoapNumbers, compute_scoap, hardest_sites
+
+__all__ = [
+    "StuckAtFault",
+    "fault_masks",
+    "full_fault_list",
+    "CollapseResult",
+    "collapse_faults",
+    "FaultSimResult",
+    "detecting_patterns",
+    "simulate_faults",
+    "CoverageReport",
+    "merge_coverage",
+    "ScoapNumbers",
+    "compute_scoap",
+    "hardest_sites",
+]

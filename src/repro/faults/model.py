@@ -1,0 +1,63 @@
+"""Single stuck-at fault model on netlist signals.
+
+PPET's claim (Section 1) is high coverage of **stuck faults**; this module
+provides the fault universe used to validate that claim on our circuits:
+one stuck-at-0 and one stuck-at-1 fault per signal stem (primary inputs,
+gate outputs, DFF outputs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..netlist.netlist import Netlist
+
+__all__ = ["StuckAtFault", "full_fault_list", "fault_masks"]
+
+
+@dataclass(frozen=True, order=True)
+class StuckAtFault:
+    """Signal ``signal`` permanently stuck at ``value`` (0 or 1)."""
+
+    signal: str
+    value: int
+
+    def __post_init__(self) -> None:
+        if self.value not in (0, 1):
+            raise ValueError(f"stuck value must be 0 or 1, got {self.value}")
+
+    def __str__(self) -> str:
+        return f"{self.signal}/sa{self.value}"
+
+
+def full_fault_list(
+    netlist: Netlist, include_inputs: bool = True
+) -> List[StuckAtFault]:
+    """Both polarities on every stem of ``netlist``.
+
+    >>> from repro.circuits import s27_netlist
+    >>> len(full_fault_list(s27_netlist()))
+    34
+    """
+    faults: List[StuckAtFault] = []
+    signals: List[str] = []
+    if include_inputs:
+        signals.extend(netlist.inputs)
+    signals.extend(c.output for c in netlist.cells())
+    for sig in signals:
+        faults.append(StuckAtFault(sig, 0))
+        faults.append(StuckAtFault(sig, 1))
+    return faults
+
+
+def fault_masks(fault: StuckAtFault, n_patterns: int) -> Dict[str, Tuple[int, int]]:
+    """Simulator override masks for one fault.
+
+    Returns the ``signal -> (and_mask, or_mask)`` mapping consumed by
+    :meth:`repro.sim.logicsim.CombSimulator.run`.
+    """
+    mask = (1 << n_patterns) - 1
+    if fault.value == 0:
+        return {fault.signal: (0, 0)}
+    return {fault.signal: (mask, mask)}

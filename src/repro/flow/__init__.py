@@ -1,0 +1,14 @@
+"""Probabilistic multicommodity-flow saturation (Table 3 of the paper)."""
+
+from .distance import distance_levels, inject_flow, update_distance
+from .rng import FairSampler
+from .saturate import SaturationResult, saturate_network
+
+__all__ = [
+    "distance_levels",
+    "inject_flow",
+    "update_distance",
+    "FairSampler",
+    "SaturationResult",
+    "saturate_network",
+]

@@ -1,0 +1,38 @@
+"""The congestion distance function ``d(e) = exp(α · flow(e) / cap(e))``.
+
+Table 3, STEP 3.3.2.  The exponential maps accumulated random flow into an
+edge length, so subsequent Dijkstra runs *avoid* congested nets; nets that
+stay congested despite the avoidance pressure are structurally central —
+exactly the nets the paper cuts first (highest ``d``).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+from ..graphs.digraph import CircuitGraph, Net
+
+__all__ = ["update_distance", "distance_levels", "inject_flow"]
+
+
+def update_distance(net: Net, alpha: float) -> float:
+    """Recompute and store ``d(e)`` for one net; returns the new value."""
+    net.dist = math.exp(alpha * net.flow / net.cap)
+    return net.dist
+
+
+def inject_flow(net: Net, delta: float, alpha: float) -> None:
+    """STEP 3.3: add ``Δ`` of flow to ``net`` and refresh its distance."""
+    net.flow += delta
+    update_distance(net, alpha)
+
+
+def distance_levels(graph: CircuitGraph) -> List[float]:
+    """Distinct ``d(e)`` values, sorted from max to min (Table 4, STEP 3).
+
+    These are the candidate *boundary* values the clustering loop walks
+    down; the paper calls this the "sorted stack of all different values of
+    d(E)".
+    """
+    return sorted({net.dist for net in graph.nets()}, reverse=True)

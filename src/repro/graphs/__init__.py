@@ -1,0 +1,32 @@
+"""Circuit-graph substrate: multi-pin digraph, SCCs, Dijkstra, path algebra."""
+
+from .digraph import CircuitGraph, Net, NodeKind
+from .build import build_circuit_graph, is_po_node, PO_NODE_PREFIX
+from .scc import SCCIndex, SCCInfo, strongly_connected_components
+from .dijkstra import ShortestPathTree, dijkstra_tree
+from .paths import (
+    WeightedEdge,
+    cycle_register_count,
+    nodes_of_net_path,
+    path_register_count,
+    register_weighted_edges,
+)
+
+__all__ = [
+    "CircuitGraph",
+    "Net",
+    "NodeKind",
+    "build_circuit_graph",
+    "is_po_node",
+    "PO_NODE_PREFIX",
+    "SCCIndex",
+    "SCCInfo",
+    "strongly_connected_components",
+    "ShortestPathTree",
+    "dijkstra_tree",
+    "WeightedEdge",
+    "cycle_register_count",
+    "nodes_of_net_path",
+    "path_register_count",
+    "register_weighted_edges",
+]

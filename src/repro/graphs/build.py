@@ -1,0 +1,66 @@
+"""Netlist → circuit-graph conversion under the multi-pin net model.
+
+Every primary input and every cell of the netlist becomes one node of
+``G(V = R ∪ C, E)``; every signal with at least one reader becomes one
+multi-pin net from its driver node to the reader nodes (Figure 2 of the
+paper).  Primary outputs read their driving signal through an optional
+virtual sink so that output nets are visible to the flow procedure.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..netlist.netlist import Netlist
+from .digraph import CircuitGraph, NodeKind
+
+__all__ = ["build_circuit_graph", "PO_NODE_PREFIX", "is_po_node"]
+
+#: Prefix of the virtual primary-output sink nodes.
+PO_NODE_PREFIX = "__po__"
+
+
+def is_po_node(node: str) -> bool:
+    """True for virtual primary-output sink nodes added by the builder."""
+    return node.startswith(PO_NODE_PREFIX)
+
+
+def build_circuit_graph(
+    netlist: Netlist, with_po_nodes: bool = True
+) -> CircuitGraph:
+    """Build ``G(V = R ∪ C, E)`` from a validated netlist.
+
+    Args:
+        netlist: source circuit; ``netlist.validate()`` should have passed.
+        with_po_nodes: when true, each primary output ``o`` gets a virtual
+            combinational sink node ``__po__o`` so the output net exists in
+            the graph even if no internal cell reads the signal.
+
+    Returns:
+        The circuit graph; node names equal signal names (the cell driving
+        a signal and the signal share a name), and net names equal the
+        driving signal's name.
+    """
+    g = CircuitGraph(netlist.name)
+    for sig in netlist.inputs:
+        g.add_node(sig, NodeKind.INPUT)
+    for cell in netlist.cells():
+        g.add_node(
+            cell.output,
+            NodeKind.REGISTER if cell.is_dff else NodeKind.COMB,
+        )
+    po_sinks: Dict[str, List[str]] = {}
+    if with_po_nodes:
+        for out in netlist.outputs:
+            po = f"{PO_NODE_PREFIX}{out}"
+            g.add_node(po, NodeKind.COMB)
+            po_sinks.setdefault(out, []).append(po)
+    readers: Dict[str, List[str]] = {s: [] for s in netlist.signals()}
+    for cell in netlist.cells():
+        for sig in cell.inputs:
+            readers[sig].append(cell.output)
+    for sig in netlist.signals():
+        sinks = readers[sig] + po_sinks.get(sig, [])
+        if sinks:
+            g.add_net(sig, source=sig, sinks=sinks)
+    return g

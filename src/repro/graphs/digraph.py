@@ -1,0 +1,223 @@
+"""Directed circuit graph with multi-pin nets (Section 2.1).
+
+The paper models a synchronous circuit as ``G(V = R ∪ C, E)`` where ``V``
+contains register nodes ``R`` and combinational nodes ``C`` and each *net*
+is a single directed edge with fan-out branches from its source module.
+:class:`CircuitGraph` implements exactly that: a **net** has one source node
+and one or more sink nodes, and carries the mutable flow/congestion state
+used by ``Saturate_Network`` (capacity, accumulated flow, distance).
+
+Node identifiers are strings (signal/cell names); each node has a
+:class:`NodeKind` marking whether it is a primary input, a register, or a
+combinational cell.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from ..errors import GraphError
+
+__all__ = ["NodeKind", "Net", "CircuitGraph"]
+
+
+class NodeKind(enum.Enum):
+    """Role of a node in ``G(V = R ∪ C, E)``."""
+
+    INPUT = "input"  # primary input (a source in C, per the paper's model)
+    REGISTER = "register"  # R: a DFF
+    COMB = "comb"  # C: a combinational cell
+
+    @property
+    def is_register(self) -> bool:
+        return self is NodeKind.REGISTER
+
+
+@dataclass
+class Net:
+    """One multi-pin net: a source node and its fan-out branches.
+
+    The mutable fields (``cap``, ``flow``, ``dist``, ``removed``) carry the
+    state of the probabilistic multicommodity-flow procedure; ``dist`` is
+    the congestion distance ``d(e)`` of Table 3.
+    """
+
+    name: str
+    source: str
+    sinks: Tuple[str, ...]
+    cap: float = 1.0
+    flow: float = 0.0
+    dist: float = 1.0
+    removed: bool = False
+
+    def reset_flow(self, cap: float = 1.0) -> None:
+        """Restore the pristine pre-saturation state (Table 3, STEP 1)."""
+        self.cap = cap
+        self.flow = 0.0
+        self.dist = 1.0
+        self.removed = False
+
+    @property
+    def fanout(self) -> int:
+        return len(self.sinks)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        status = " cut" if self.removed else ""
+        return f"<Net {self.name}: {self.source} -> {list(self.sinks)}{status}>"
+
+
+class CircuitGraph:
+    """Directed graph of a synchronous circuit under the multi-pin net model."""
+
+    def __init__(self, name: str = "G"):
+        self.name = name
+        self._kinds: Dict[str, NodeKind] = {}
+        self._nets: Dict[str, Net] = {}
+        self._out: Dict[str, List[str]] = {}  # node -> net names it sources
+        self._in: Dict[str, List[str]] = {}  # node -> net names feeding it
+        self._out_objs: Optional[Dict[str, Tuple[Net, ...]]] = None  # hot-path cache
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_node(self, node: str, kind: NodeKind) -> None:
+        if node in self._kinds:
+            raise GraphError(f"duplicate node {node!r}")
+        self._kinds[node] = kind
+        self._out[node] = []
+        self._in[node] = []
+
+    def add_net(self, name: str, source: str, sinks: Iterable[str]) -> Net:
+        """Add a net ``source -> sinks``; all endpoints must already exist."""
+        if name in self._nets:
+            raise GraphError(f"duplicate net {name!r}")
+        sinks = tuple(sinks)
+        if not sinks:
+            raise GraphError(f"net {name!r} has no sinks")
+        if source not in self._kinds:
+            raise GraphError(f"net {name!r}: unknown source node {source!r}")
+        for s in sinks:
+            if s not in self._kinds:
+                raise GraphError(f"net {name!r}: unknown sink node {s!r}")
+        net = Net(name=name, source=source, sinks=sinks)
+        self._nets[name] = net
+        self._out[source].append(name)
+        for s in sinks:
+            self._in[s].append(name)
+        self._out_objs = None
+        return net
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def nodes(self) -> Iterator[str]:
+        return iter(self._kinds)
+
+    def kind(self, node: str) -> NodeKind:
+        try:
+            return self._kinds[node]
+        except KeyError:
+            raise GraphError(f"unknown node {node!r}") from None
+
+    def has_node(self, node: str) -> bool:
+        return node in self._kinds
+
+    def register_nodes(self) -> List[str]:
+        """The set ``R``: all DFF nodes."""
+        return [n for n, k in self._kinds.items() if k is NodeKind.REGISTER]
+
+    def input_nodes(self) -> List[str]:
+        return [n for n, k in self._kinds.items() if k is NodeKind.INPUT]
+
+    def comb_nodes(self) -> List[str]:
+        return [n for n, k in self._kinds.items() if k is NodeKind.COMB]
+
+    def nets(self, include_removed: bool = True) -> Iterator[Net]:
+        if include_removed:
+            return iter(self._nets.values())
+        return (n for n in self._nets.values() if not n.removed)
+
+    def net(self, name: str) -> Net:
+        try:
+            return self._nets[name]
+        except KeyError:
+            raise GraphError(f"unknown net {name!r}") from None
+
+    def has_net(self, name: str) -> bool:
+        return name in self._nets
+
+    def out_nets(self, node: str, include_removed: bool = True) -> List[Net]:
+        """Nets sourced at ``node`` (optionally hiding removed/cut nets)."""
+        nets = (self._nets[n] for n in self._out[node])
+        return [n for n in nets if include_removed or not n.removed]
+
+    def out_net_objects(self, node: str) -> Tuple[Net, ...]:
+        """Cached tuple of all nets sourced at ``node`` (removed included).
+
+        Hot-path accessor for Dijkstra/DFS inner loops; callers filter on
+        ``net.removed`` themselves.
+        """
+        if self._out_objs is None:
+            self._out_objs = {
+                n: tuple(self._nets[name] for name in names)
+                for n, names in self._out.items()
+            }
+        return self._out_objs[node]
+
+    def in_nets(self, node: str, include_removed: bool = True) -> List[Net]:
+        """Nets with a branch sinking at ``node``."""
+        nets = (self._nets[n] for n in self._in[node])
+        return [n for n in nets if include_removed or not n.removed]
+
+    def successors(self, node: str, include_removed: bool = True) -> List[str]:
+        """Distinct nodes reachable over one net branch from ``node``."""
+        seen: Set[str] = set()
+        out: List[str] = []
+        for net in self.out_nets(node, include_removed):
+            for s in net.sinks:
+                if s not in seen:
+                    seen.add(s)
+                    out.append(s)
+        return out
+
+    def predecessors(self, node: str, include_removed: bool = True) -> List[str]:
+        seen: Set[str] = set()
+        out: List[str] = []
+        for net in self.in_nets(node, include_removed):
+            if net.source not in seen:
+                seen.add(net.source)
+                out.append(net.source)
+        return out
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self._kinds)
+
+    @property
+    def n_nets(self) -> int:
+        return len(self._nets)
+
+    def cut_nets(self) -> List[Net]:
+        """Nets currently marked as removed (the cut set χ)."""
+        return [n for n in self._nets.values() if n.removed]
+
+    # ------------------------------------------------------------------
+    # flow state management
+    # ------------------------------------------------------------------
+    def reset_flow_state(self, cap: float = 1.0) -> None:
+        """Re-initialize all nets' flow/congestion state (Table 3, STEP 1)."""
+        for net in self._nets.values():
+            net.reset_flow(cap)
+
+    def restore_cuts(self) -> None:
+        """Un-remove every net, keeping flow/distance values."""
+        for net in self._nets.values():
+            net.removed = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<CircuitGraph {self.name!r}: {self.n_nodes} nodes "
+            f"({len(self.register_nodes())} R), {self.n_nets} nets>"
+        )

@@ -1,0 +1,118 @@
+"""Dijkstra shortest-path trees over the circuit graph (Table 3, STEP 3.2).
+
+``Saturate_Network`` repeatedly asks for the shortest-path tree from a
+random source to **all reachable sinks**, with the congestion distance
+``d(e)`` as edge length.  The tree edges are nets; a multi-pin net charges
+its distance once per traversal (its branches share the physical wire).
+
+Determinism matters for reproducibility: ties are broken by insertion
+order via a monotonically increasing heap counter.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from .digraph import CircuitGraph
+
+__all__ = ["ShortestPathTree", "dijkstra_tree"]
+
+
+@dataclass
+class ShortestPathTree:
+    """Result of :func:`dijkstra_tree`.
+
+    Attributes:
+        source: the tree root.
+        dist: node → shortest distance from the source.
+        parent_net: node → name of the net used to reach it (root maps to
+            ``None``).
+    """
+
+    source: str
+    dist: Dict[str, float]
+    parent_net: Dict[str, Optional[str]]
+
+    def reached(self) -> List[str]:
+        """All nodes reachable from the source, including the source."""
+        return list(self.dist)
+
+    def tree_nets(self) -> List[str]:
+        """Distinct nets participating in the tree (``e ∈ T_v`` of Table 3)."""
+        seen: Set[str] = set()
+        out: List[str] = []
+        for net_name in self.parent_net.values():
+            if net_name is not None and net_name not in seen:
+                seen.add(net_name)
+                out.append(net_name)
+        return out
+
+    def path_to(self, node: str) -> List[str]:
+        """Net names along the tree path source → ``node``."""
+        if node not in self.dist:
+            raise KeyError(f"{node!r} not reached from {self.source!r}")
+        path: List[str] = []
+        # walk parents; parent_net[node] is the net whose source is the parent
+        cur = node
+        guard = len(self.dist) + 1
+        while True:
+            net_name = self.parent_net[cur]
+            if net_name is None:
+                break
+            path.append(net_name)
+            cur = self._net_source[net_name]
+            guard -= 1
+            if guard < 0:  # pragma: no cover - defensive
+                raise RuntimeError("parent chain does not terminate")
+        path.reverse()
+        return path
+
+    # populated by dijkstra_tree for path reconstruction
+    _net_source: Dict[str, str] = field(default_factory=dict)
+
+
+def dijkstra_tree(
+    graph: CircuitGraph,
+    source: str,
+    use_removed: bool = False,
+) -> ShortestPathTree:
+    """Shortest-path tree from ``source`` over net distances ``d(e)``.
+
+    Args:
+        graph: the circuit graph carrying per-net ``dist`` values.
+        source: root node.
+        use_removed: when false (default), cut nets are not traversed.
+
+    Returns:
+        A :class:`ShortestPathTree` covering every node reachable from
+        ``source``.
+    """
+    dist: Dict[str, float] = {source: 0.0}
+    parent_net: Dict[str, Optional[str]] = {source: None}
+    net_source: Dict[str, str] = {}
+    done: Set[str] = set()
+    counter = 0
+    heap: List = [(0.0, counter, source)]
+    while heap:
+        d, _, node = heapq.heappop(heap)
+        if node in done:
+            continue
+        done.add(node)
+        for net in graph.out_net_objects(node):
+            if net.removed and not use_removed:
+                continue
+            nd = d + net.dist
+            for sink in net.sinks:
+                if sink in done:
+                    continue
+                if sink not in dist or nd < dist[sink]:
+                    dist[sink] = nd
+                    parent_net[sink] = net.name
+                    net_source[net.name] = net.source
+                    counter += 1
+                    heapq.heappush(heap, (nd, counter, sink))
+    tree = ShortestPathTree(source=source, dist=dist, parent_net=parent_net)
+    tree._net_source = net_source
+    return tree

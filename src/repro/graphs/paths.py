@@ -1,0 +1,140 @@
+"""Register-count algebra on circuit paths (Section 2.2).
+
+The retiming lemmas speak about ``f(p)``, the number of registers on a path
+``p``.  In our graph registers are *nodes* (the set ``R``), so ``f`` counts
+the register nodes a path passes through.  For Leiserson–Saxe style
+reasoning we also provide the classical *register-weighted* view: a graph
+over non-register nodes whose edge weights ``w(u, v)`` count the registers
+on the wiring between ``u`` and ``v``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from ..errors import GraphError
+from .digraph import CircuitGraph, NodeKind
+
+__all__ = [
+    "nodes_of_net_path",
+    "path_register_count",
+    "cycle_register_count",
+    "WeightedEdge",
+    "register_weighted_edges",
+]
+
+
+def nodes_of_net_path(graph: CircuitGraph, nets: Sequence[str]) -> List[str]:
+    """Expand a chain of net names into the node sequence ``v0, v1, ..., vn``.
+
+    Each net must source at the previous net's chosen sink; the sink chosen
+    for net ``i`` is the source of net ``i+1`` (it must be among the net's
+    sinks).  The final net contributes its first sink unless a continuation
+    disambiguates it — for path algebra the register count of the endpoint
+    is what matters, so callers wanting a specific terminal sink should
+    append it via :func:`path_register_count`'s ``final_sink``.
+    """
+    if not nets:
+        return []
+    seq: List[str] = [graph.net(nets[0]).source]
+    for i, name in enumerate(nets):
+        net = graph.net(name)
+        if net.source != seq[-1]:
+            raise GraphError(
+                f"net {name!r} does not continue the path at {seq[-1]!r}"
+            )
+        if i + 1 < len(nets):
+            nxt_source = graph.net(nets[i + 1]).source
+            if nxt_source not in net.sinks:
+                raise GraphError(
+                    f"net {name!r} has no branch to {nxt_source!r}"
+                )
+            seq.append(nxt_source)
+        else:
+            seq.append(net.sinks[0])
+    return seq
+
+
+def path_register_count(
+    graph: CircuitGraph,
+    nets: Sequence[str],
+    final_sink: str = None,
+) -> int:
+    """``f(p)``: registers on the path described by ``nets``.
+
+    Registers are counted over the node sequence ``v0 .. vn`` *excluding the
+    start node* ``v0`` (each edge delivers into its sink, so a register is
+    charged to the path that enters it).  This makes ``f`` additive over
+    path concatenation and makes cycle counts independent of the start
+    node, as Corollary 2 requires.
+    """
+    seq = nodes_of_net_path(graph, nets)
+    if final_sink is not None:
+        last = graph.net(nets[-1])
+        if final_sink not in last.sinks:
+            raise GraphError(
+                f"{final_sink!r} is not a sink of net {nets[-1]!r}"
+            )
+        seq[-1] = final_sink
+    return sum(
+        1 for node in seq[1:] if graph.kind(node) is NodeKind.REGISTER
+    )
+
+
+def cycle_register_count(graph: CircuitGraph, nets: Sequence[str]) -> int:
+    """``f(λ)`` for a directed cycle given as a closed chain of nets.
+
+    The last net must have a branch back to the first net's source.
+    """
+    if not nets:
+        raise GraphError("empty cycle")
+    first_source = graph.net(nets[0]).source
+    last = graph.net(nets[-1])
+    if first_source not in last.sinks:
+        raise GraphError("net sequence does not close into a cycle")
+    return path_register_count(graph, nets, final_sink=first_source)
+
+
+@dataclass(frozen=True)
+class WeightedEdge:
+    """Edge of the register-weighted (Leiserson–Saxe) view."""
+
+    tail: str
+    head: str
+    weight: int  # registers between tail and head
+    via_nets: Tuple[str, ...]  # nets traversed tail -> head
+
+
+def register_weighted_edges(graph: CircuitGraph) -> List[WeightedEdge]:
+    """Collapse register nodes into edge weights.
+
+    For every non-register node ``u`` and every maximal wiring path
+    ``u -> r1 -> r2 -> ... -> v`` where the interior nodes are registers
+    and ``v`` is the first non-register node, emit ``(u, v, #registers)``.
+    Pure register cycles (a DFF ring with no combinational node) raise
+    :class:`GraphError` since they have no Leiserson–Saxe representation.
+    """
+    edges: List[WeightedEdge] = []
+    non_regs = [
+        n for n in graph.nodes() if graph.kind(n) is not NodeKind.REGISTER
+    ]
+    n_regs = len(graph.register_nodes())
+    for u in non_regs:
+        # DFS through register-only interiors
+        stack: List[Tuple[str, int, Tuple[str, ...]]] = [(u, 0, ())]
+        while stack:
+            node, w, via = stack.pop()
+            for net in graph.out_nets(node):
+                for sink in net.sinks:
+                    nvia = via + (net.name,)
+                    if graph.kind(sink) is NodeKind.REGISTER:
+                        if w >= n_regs:
+                            raise GraphError(
+                                "pure register cycle detected; the circuit "
+                                "has a DFF loop with no combinational node"
+                            )
+                        stack.append((sink, w + 1, nvia))
+                    else:
+                        edges.append(WeightedEdge(u, sink, w, nvia))
+    return edges

@@ -1,0 +1,168 @@
+"""Strongly connected components (Tarjan, iterative) and the SCC index.
+
+Merced's STEP 2 (Table 2) identifies the SCCs of ``G`` because legal
+retiming cannot change the number of registers on any directed cycle
+(Corollary 2).  The :class:`SCCIndex` therefore records, per non-trivial
+SCC ``λ``: its nodes, its register count ``f(λ)`` (existing DFFs available
+to retiming), and its internal nets (the candidate cut positions whose
+count ``χ(λ)`` is budgeted by Eq. 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from .digraph import CircuitGraph, NodeKind
+
+__all__ = ["strongly_connected_components", "SCCInfo", "SCCIndex"]
+
+
+def strongly_connected_components(graph: CircuitGraph) -> List[List[str]]:
+    """Tarjan's algorithm, iterative (safe for >10^5-node circuits).
+
+    Returns the SCCs as lists of node names, in reverse topological order
+    of the condensation (standard Tarjan emission order).
+    """
+    index_counter = 0
+    index: Dict[str, int] = {}
+    lowlink: Dict[str, int] = {}
+    on_stack: Set[str] = set()
+    stack: List[str] = []
+    result: List[List[str]] = []
+
+    for root in graph.nodes():
+        if root in index:
+            continue
+        work: List[Tuple[str, Iterator[str]]] = [
+            (root, iter(graph.successors(root)))
+        ]
+        index[root] = lowlink[root] = index_counter
+        index_counter += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, it = work[-1]
+            advanced = False
+            for succ in it:
+                if succ not in index:
+                    index[succ] = lowlink[succ] = index_counter
+                    index_counter += 1
+                    stack.append(succ)
+                    on_stack.add(succ)
+                    work.append((succ, iter(graph.successors(succ))))
+                    advanced = True
+                    break
+                if succ in on_stack:
+                    lowlink[node] = min(lowlink[node], index[succ])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index[node]:
+                comp: List[str] = []
+                while True:
+                    w = stack.pop()
+                    on_stack.discard(w)
+                    comp.append(w)
+                    if w == node:
+                        break
+                result.append(comp)
+    return result
+
+
+@dataclass
+class SCCInfo:
+    """One non-trivial strongly connected component ``λ``."""
+
+    scc_id: int
+    nodes: Tuple[str, ...]
+    register_count: int  # f(λ): DFF nodes inside the SCC
+    internal_nets: Tuple[str, ...]  # nets with source and ≥1 sink in λ
+    cut_count: int = 0  # c(λ): cuts charged so far (Table 7, STEP 2.1.1)
+
+    @property
+    def size(self) -> int:
+        return len(self.nodes)
+
+    def cut_budget(self, beta: int) -> int:
+        """Maximum cuts allowed by Eq. 6: ``β × f(λ)``."""
+        return beta * self.register_count
+
+
+class SCCIndex:
+    """Node → SCC lookup plus per-SCC retiming bookkeeping.
+
+    Only *non-trivial* SCCs are tracked: components with more than one node,
+    or a single node with a self net (a cell feeding itself through one
+    net).  Nodes outside any cycle map to ``None``.
+    """
+
+    def __init__(self, graph: CircuitGraph):
+        self.graph = graph
+        self._sccs: List[SCCInfo] = []
+        self._node_to_scc: Dict[str, int] = {}
+        self._net_to_scc: Dict[str, int] = {}
+        self._build()
+
+    def _build(self) -> None:
+        comps = strongly_connected_components(self.graph)
+        for comp in comps:
+            members = set(comp)
+            if len(comp) == 1:
+                node = comp[0]
+                has_self = any(
+                    node in net.sinks for net in self.graph.out_nets(node)
+                )
+                if not has_self:
+                    continue
+            scc_id = len(self._sccs)
+            internal = []
+            n_regs = 0
+            for node in comp:
+                if self.graph.kind(node) is NodeKind.REGISTER:
+                    n_regs += 1
+                for net in self.graph.out_nets(node):
+                    if any(s in members for s in net.sinks):
+                        internal.append(net.name)
+            info = SCCInfo(
+                scc_id=scc_id,
+                nodes=tuple(comp),
+                register_count=n_regs,
+                internal_nets=tuple(internal),
+            )
+            self._sccs.append(info)
+            for node in comp:
+                self._node_to_scc[node] = scc_id
+            for net_name in internal:
+                self._net_to_scc[net_name] = scc_id
+
+    # ------------------------------------------------------------------
+    def sccs(self) -> Sequence[SCCInfo]:
+        """All non-trivial SCCs."""
+        return tuple(self._sccs)
+
+    def scc_of_node(self, node: str) -> Optional[SCCInfo]:
+        idx = self._node_to_scc.get(node)
+        return None if idx is None else self._sccs[idx]
+
+    def scc_of_net(self, net_name: str) -> Optional[SCCInfo]:
+        """The SCC a net is internal to, or ``None`` for tree/cross nets."""
+        idx = self._net_to_scc.get(net_name)
+        return None if idx is None else self._sccs[idx]
+
+    def net_on_scc(self, net_name: str) -> bool:
+        return net_name in self._net_to_scc
+
+    def registers_on_sccs(self) -> int:
+        """Total DFFs sitting on cycles (the paper's "DFFs on SCC" column)."""
+        return sum(s.register_count for s in self._sccs)
+
+    def reset_cut_counts(self) -> None:
+        for s in self._sccs:
+            s.cut_count = 0
+
+    def __len__(self) -> int:
+        return len(self._sccs)

@@ -1,0 +1,76 @@
+"""Netlist linting beyond the hard structural checks in ``Netlist.validate``.
+
+``lint_netlist`` reports conditions that are suspicious but not fatal —
+dangling cells, unread primary inputs, self-loop DFFs — so benchmark
+generators and netlist transformations can be audited.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from .netlist import Netlist
+
+__all__ = ["LintReport", "lint_netlist"]
+
+
+@dataclass
+class LintReport:
+    """Outcome of :func:`lint_netlist`."""
+
+    dangling_cells: List[str] = field(default_factory=list)
+    unread_inputs: List[str] = field(default_factory=list)
+    self_loop_dffs: List[str] = field(default_factory=list)
+    constant_candidates: List[str] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not (
+            self.dangling_cells
+            or self.unread_inputs
+            or self.self_loop_dffs
+            or self.constant_candidates
+        )
+
+    def summary(self) -> str:
+        parts = []
+        for label, items in [
+            ("dangling cells", self.dangling_cells),
+            ("unread inputs", self.unread_inputs),
+            ("self-loop DFFs", self.self_loop_dffs),
+            ("constant candidates", self.constant_candidates),
+        ]:
+            if items:
+                parts.append(f"{len(items)} {label}")
+        return "; ".join(parts) if parts else "clean"
+
+
+def lint_netlist(netlist: Netlist) -> LintReport:
+    """Inspect ``netlist`` for suspicious (non-fatal) structures.
+
+    * *dangling cells* drive neither a primary output nor any other cell;
+    * *unread inputs* are primary inputs with no readers;
+    * *self-loop DFFs* are DFFs whose data input is their own output
+      (legal, but they lock to their initial value and defeat testing);
+    * *constant candidates* are gates whose inputs are all the same signal
+      (e.g. ``XOR(a, a)`` — a structural constant).
+    """
+    report = LintReport()
+    fan = netlist.fanout_map()
+    out_set = set(netlist.outputs)
+    for cell in netlist.cells():
+        if not fan.get(cell.output) and cell.output not in out_set:
+            report.dangling_cells.append(cell.output)
+        if cell.is_dff and cell.inputs[0] == cell.output:
+            report.self_loop_dffs.append(cell.output)
+        if (
+            not cell.is_dff
+            and len(set(cell.inputs)) == 1
+            and len(cell.inputs) > 1
+        ):
+            report.constant_candidates.append(cell.output)
+    for sig in netlist.inputs:
+        if not fan.get(sig) and sig not in out_set:
+            report.unread_inputs.append(sig)
+    return report

@@ -1,0 +1,284 @@
+"""``Assign_CBIT`` — greedy cluster merging into CBIT-sized partitions.
+
+Table 8 of the paper.  ``Make_Group`` tends to produce many clusters far
+smaller than ``l_k``; since the per-bit CBIT cost σ_k falls with CBIT
+length (Table 1), it pays to merge small clusters — especially ones that
+*share input nets* or are joined by cut nets (merging un-cuts them) — until
+each partition's input count approaches ``l_k``.
+
+The gain of merging ϖ₁ and ϖ₂ is ``γ = l_k − ι(ϖ₁ + ϖ₂)`` (Eq. 7);
+a merge is feasible iff ``γ ≥ 0``.  Ties on γ are broken by the number of
+cut nets the merge removes (Table 8, STEP 3.2.1).
+
+``ι`` of a merged pair is computed incrementally from the operand input
+sets: a net stays an input unless its combinational source lands inside
+the merged cluster (exact, no re-walk of the graph).
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from ..graphs.digraph import CircuitGraph, NodeKind
+from .clusters import Cluster, Partition, cluster_input_nets
+
+__all__ = ["MergeGain", "merged_input_nets", "merge_gain", "AssignCBITResult", "assign_cbit"]
+
+
+def merged_input_nets(
+    graph: CircuitGraph, a: Cluster, b: Cluster
+) -> FrozenSet[str]:
+    """Exact input-net set of ``a ∪ b`` from the operands' input sets."""
+    inputs: Set[str] = set()
+    for net_name in a.input_nets:
+        src = graph.net(net_name).source
+        if graph.kind(src) is not NodeKind.COMB or src not in b.nodes:
+            inputs.add(net_name)
+    for net_name in b.input_nets:
+        src = graph.net(net_name).source
+        if graph.kind(src) is not NodeKind.COMB or src not in a.nodes:
+            inputs.add(net_name)
+    return frozenset(inputs)
+
+
+@dataclass(frozen=True)
+class MergeGain:
+    """Gain assessment of merging two clusters (Eq. 7 + tie-break)."""
+
+    gain: int  # γ = l_k − ι(merged); feasible iff ≥ 0
+    cuts_removed: int  # cut nets that become internal
+    merged_inputs: FrozenSet[str]
+
+    @property
+    def feasible(self) -> bool:
+        return self.gain >= 0
+
+    def better_than(self, other: Optional["MergeGain"]) -> bool:
+        if other is None:
+            return True
+        return (self.gain, self.cuts_removed) > (other.gain, other.cuts_removed)
+
+
+def merge_gain(
+    graph: CircuitGraph, lk: int, a: Cluster, b: Cluster
+) -> MergeGain:
+    """Evaluate merging ``a`` and ``b`` under input bound ``lk``."""
+    merged = merged_input_nets(graph, a, b)
+    shared_or_internalized = (
+        len(a.input_nets) + len(b.input_nets) - len(merged)
+    )
+    # cut nets removed: inputs of one operand sourced inside the other
+    cuts_removed = 0
+    for net_name in a.input_nets:
+        src = graph.net(net_name).source
+        if graph.kind(src) is NodeKind.COMB and src in b.nodes:
+            cuts_removed += 1
+    for net_name in b.input_nets:
+        src = graph.net(net_name).source
+        if graph.kind(src) is NodeKind.COMB and src in a.nodes:
+            cuts_removed += 1
+    del shared_or_internalized  # informational; γ already reflects it
+    return MergeGain(
+        gain=lk - len(merged),
+        cuts_removed=cuts_removed,
+        merged_inputs=merged,
+    )
+
+
+@dataclass
+class AssignCBITResult:
+    """Outcome of :func:`assign_cbit` (the paper's ``P``, ``cost``, ``k``)."""
+
+    partition: Partition
+    cost_dff: float  # Σ = Σ p_k n_k (Eq. 4), in DFF equivalents
+    n_partitions: int
+    n_merges: int
+
+    @property
+    def cut_net_count(self) -> int:
+        return len(self.partition.cut_nets())
+
+
+def _union_input_count(
+    graph: CircuitGraph, clusters: Sequence[Cluster]
+) -> int:
+    nodes: Set[str] = set()
+    for c in clusters:
+        nodes.update(c.nodes)
+    return len(cluster_input_nets(graph, nodes))
+
+
+class _WorkingSet:
+    """Indexed pool of live clusters during the greedy merge.
+
+    Maintains, per live cluster handle: the cluster itself; a reverse map
+    ``net → handles reading it as an input``; and ``node → handle`` for
+    cut-source lookups.  The candidate set for a merge with ``O`` is
+
+    * clusters sharing an input net with ``O``,
+    * clusters containing the combinational source of one of ``O``'s
+      input nets (merging removes that cut),
+    * clusters reading a net sourced inside ``O`` (ditto, other way),
+    * a handful of minimum-ι clusters (the best *non-interacting*
+      partner is exactly a minimum-ι cluster, so including them keeps the
+      search exact while avoiding the O(m²) full scan).
+    """
+
+    def __init__(self, graph: CircuitGraph, clusters: Sequence[Cluster]):
+        self.graph = graph
+        self.by_handle: Dict[int, Cluster] = {}
+        self.readers: Dict[str, Set[int]] = {}
+        self.node_owner: Dict[str, int] = {}
+        self._heap: List[Tuple[int, int]] = []  # (ι, handle), lazy-deleted
+        self._next = 0
+        for c in clusters:
+            self.add(c)
+
+    def add(self, cluster: Cluster) -> int:
+        h = self._next
+        self._next += 1
+        self.by_handle[h] = cluster
+        for net in cluster.input_nets:
+            self.readers.setdefault(net, set()).add(h)
+        for node in cluster.nodes:
+            self.node_owner[node] = h
+        heapq.heappush(self._heap, (cluster.input_count, h))
+        return h
+
+    def remove(self, h: int) -> Cluster:
+        cluster = self.by_handle.pop(h)
+        for net in cluster.input_nets:
+            hs = self.readers.get(net)
+            if hs is not None:
+                hs.discard(h)
+        for node in cluster.nodes:
+            if self.node_owner.get(node) == h:
+                del self.node_owner[node]
+        return cluster
+
+    def pop_largest(self) -> Cluster:
+        h = max(
+            self.by_handle,
+            key=lambda k: (self.by_handle[k].input_count, -k),
+        )
+        return self.remove(h)
+
+    def smallest_handles(self, n: int) -> List[int]:
+        out: List[int] = []
+        keep: List[Tuple[int, int]] = []
+        while self._heap and len(out) < n:
+            iota, h = heapq.heappop(self._heap)
+            c = self.by_handle.get(h)
+            if c is None or c.input_count != iota:
+                continue  # stale entry
+            out.append(h)
+            keep.append((iota, h))
+        for item in keep:
+            heapq.heappush(self._heap, item)
+        return out
+
+    def candidates_for(self, cluster: Cluster) -> List[int]:
+        cand: Set[int] = set()
+        for net in cluster.input_nets:
+            cand.update(self.readers.get(net, ()))
+            src = self.graph.net(net).source
+            if self.graph.kind(src) is NodeKind.COMB:
+                owner = self.node_owner.get(src)
+                if owner is not None:
+                    cand.add(owner)
+        for node in cluster.nodes:
+            for net in self.graph.out_net_objects(node):
+                cand.update(self.readers.get(net.name, ()))
+        cand.update(self.smallest_handles(8))
+        return sorted(cand)
+
+    def __len__(self) -> int:
+        return len(self.by_handle)
+
+    def live(self) -> List[Cluster]:
+        return [self.by_handle[h] for h in sorted(self.by_handle)]
+
+    def sum_iota(self) -> int:
+        return sum(c.input_count for c in self.by_handle.values())
+
+
+def assign_cbit(
+    partition: Partition,
+    lk: Optional[int] = None,
+) -> AssignCBITResult:
+    """Merge ``partition``'s clusters into near-``l_k`` CBIT partitions.
+
+    Follows Table 8: repeatedly extract the cluster with the largest input
+    count and greedily absorb the best-gain feasible partners until it is
+    full; when the remaining clusters jointly fit one CBIT they are lumped
+    into the final residual partition.  The best-partner search uses an
+    exact indexed candidate set instead of a full O(m²) scan (see
+    :class:`_WorkingSet`).
+
+    Returns:
+        An :class:`AssignCBITResult` whose partition satisfies Eq. 5 and
+        whose ``cost_dff`` is the Table 1 catalogue cost of the assignment.
+    """
+    from ..cbit.types import cbit_cost_for_inputs
+
+    graph = partition.graph
+    lk = lk or partition.lk
+    work = _WorkingSet(graph, partition.clusters)
+    final: List[Cluster] = []
+    n_merges = 0
+
+    while len(work):
+        # Residual lumping test (Table 8, STEP 4): Σι ≤ l_k guarantees the
+        # union fits; when few clusters remain, do the exact union check.
+        todo = work.live()
+        if work.sum_iota() <= lk or (
+            len(todo) <= 8 and _union_input_count(graph, todo) <= lk
+        ):
+            nodes: Set[str] = set()
+            for c in todo:
+                nodes.update(c.nodes)
+            final.append(Cluster.from_nodes(len(final), graph, nodes))
+            if len(todo) > 1:
+                n_merges += len(todo) - 1
+            break
+
+        current = work.pop_largest()
+        while current.input_count < lk and len(work):
+            best: Optional[MergeGain] = None
+            best_h = -1
+            for h in work.candidates_for(current):
+                mg = merge_gain(graph, lk, current, work.by_handle[h])
+                if mg.feasible and mg.better_than(best):
+                    best = mg
+                    best_h = h
+            if best is None:
+                break
+            absorbed = work.remove(best_h)
+            current = Cluster(
+                cluster_id=current.cluster_id,
+                nodes=current.nodes | absorbed.nodes,
+                input_nets=best.merged_inputs,
+            )
+            n_merges += 1
+        final.append(current)
+
+    final = [
+        Cluster(cluster_id=i, nodes=c.nodes, input_nets=c.input_nets)
+        for i, c in enumerate(final)
+    ]
+    merged_partition = Partition(
+        graph, final, lk=lk, scc_index=partition.scc_index
+    )
+    cost = 0.0
+    for c in final:
+        c_cost, _ = cbit_cost_for_inputs(c.input_count)
+        cost += c_cost
+    return AssignCBITResult(
+        partition=merged_partition,
+        cost_dff=cost,
+        n_partitions=len(final),
+        n_merges=n_merges,
+    )

@@ -1,0 +1,175 @@
+"""``Make_Group`` (Table 4): congestion-ordered clustering under Eq. 5/6.
+
+The procedure saturates the network, then repeatedly splits the cluster
+with the largest input count by lowering the congestion boundary until
+every cluster satisfies ``ι(ϖ) ≤ l_k``.
+
+Efficiency note (documented in DESIGN.md): instead of popping the global
+sorted distance stack one value at a time — most of which would not touch
+the oversized cluster — each split jumps directly to the highest distance
+still present among the cluster's uncut internal nets.  The net-removal
+*order* (most congested first) is identical; only no-op boundary pops are
+skipped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Set
+
+from ..config import MercedConfig
+from ..errors import InfeasiblePartitionError
+from ..flow.saturate import SaturationResult, saturate_network
+from ..graphs.digraph import CircuitGraph, NodeKind
+from ..graphs.scc import SCCIndex
+from .clusters import Cluster, Partition
+from .make_set import CutState, make_set
+
+__all__ = ["MakeGroupResult", "make_group"]
+
+
+@dataclass
+class MakeGroupResult:
+    """Outcome of :func:`make_group`."""
+
+    partition: Partition
+    cut_state: CutState
+    saturation: SaturationResult
+    n_splits: int
+    infeasible_clusters: List[Cluster]
+
+    @property
+    def feasible(self) -> bool:
+        return not self.infeasible_clusters
+
+
+def _next_boundary(
+    graph: CircuitGraph, state: CutState, nodes: Set[str]
+) -> Optional[float]:
+    """Highest distance among the cluster's still-traversable comb nets."""
+    best: Optional[float] = None
+    for node in nodes:
+        if graph.kind(node) is not NodeKind.COMB:
+            continue
+        for net in graph.out_nets(node):
+            if (
+                net.name in state.cut
+                or net.name in state.forced
+                or net.dist <= 0.0
+            ):
+                continue
+            # only nets that DFS could actually cross inside this cluster
+            if not any(s in nodes for s in net.sinks):
+                continue
+            if best is None or net.dist > best:
+                best = net.dist
+    return best
+
+
+def make_group(
+    graph: CircuitGraph,
+    scc_index: Optional[SCCIndex] = None,
+    config: Optional[MercedConfig] = None,
+    locked: Optional[Set[str]] = None,
+    presaturated: bool = False,
+    strict: bool = True,
+) -> MakeGroupResult:
+    """Partition ``graph`` into clusters with ``ι(ϖ) ≤ l_k``.
+
+    Args:
+        graph: the circuit graph (mutated: flow state and cut flags).
+        scc_index: precomputed SCC index; built here if omitted.
+        config: Merced parameters (``l_k``, β, and the saturation knobs).
+        locked: node names Merced must not regroup (kept as singletons).
+        presaturated: skip ``Saturate_Network`` and reuse the distances
+            already on the graph (used by parameter-sweep ablations).
+        strict: raise on clusters that cannot meet ``l_k`` (default);
+            ``False`` returns them in ``infeasible_clusters`` instead —
+            the paper's β-vs-testing-time trade-off means a tight β can
+            legitimately force an oversized cluster (it then needs a
+            longer-than-2^l_k test or a wider CBIT).
+
+    Returns:
+        A :class:`MakeGroupResult`; ``result.partition.clusters`` is sorted
+        from max ι to min (Table 4, STEP 6).
+
+    Raises:
+        InfeasiblePartitionError: a cluster cannot be reduced below
+            ``l_k`` inputs (a cell's fan-in exceeds ``l_k``, or an SCC cut
+            budget welded an oversized region together) — unless the
+            infeasibility is due to locked nodes, which are exempt.
+    """
+    config = config or MercedConfig()
+    scc_index = scc_index or SCCIndex(graph)
+    if presaturated:
+        saturation = SaturationResult(
+            n_sources=0,
+            total_flow=sum(n.flow for n in graph.nets()),
+            max_flow=max((n.flow for n in graph.nets()), default=0.0),
+            max_dist=max((n.dist for n in graph.nets()), default=0.0),
+            visit={},
+        )
+    else:
+        saturation = saturate_network(graph, config)
+
+    state = CutState(graph, scc_index, config.beta)
+    members = [
+        n for n in graph.nodes() if graph.kind(n) is not NodeKind.INPUT
+    ]
+    # First grouping cuts nothing (boundary above every distance): when the
+    # register-bounded regions already satisfy Eq. 5 the minimal cut set is
+    # empty.  Oversized clusters then walk down the distance stack, most
+    # congested nets first (Table 4, STEPs 4-5).
+    first_boundary = float("inf")
+    groups = make_set(graph, members, first_boundary, state, locked=locked)
+    clusters = [
+        Cluster.from_nodes(i, graph, g) for i, g in enumerate(groups)
+    ]
+
+    n_splits = 0
+    next_id = len(clusters)
+    infeasible: List[Cluster] = []
+    work = [c for c in clusters if c.input_count > config.lk]
+    live = {c.cluster_id: c for c in clusters}
+    while work:
+        work.sort(key=lambda c: (c.input_count, c.cluster_id))
+        big = work.pop()  # largest ι first
+        boundary = _next_boundary(graph, state, set(big.nodes))
+        if boundary is None:
+            infeasible.append(big)
+            continue
+        subgroups = make_set(graph, big.nodes, boundary, state, locked=locked)
+        n_splits += 1
+        del live[big.cluster_id]
+        for g in subgroups:
+            cl = Cluster.from_nodes(next_id, graph, g)
+            next_id += 1
+            live[cl.cluster_id] = cl
+            if cl.input_count > config.lk:
+                work.append(cl)
+
+    final = sorted(
+        live.values(), key=lambda c: (-c.input_count, c.cluster_id)
+    )
+    # re-number for stable downstream ids
+    final = [
+        Cluster(cluster_id=i, nodes=c.nodes, input_nets=c.input_nets)
+        for i, c in enumerate(final)
+    ]
+    partition = Partition(graph, final, lk=config.lk, scc_index=scc_index)
+    hard_infeasible = [
+        c for c in infeasible if not (locked and c.nodes & locked)
+    ]
+    if hard_infeasible and strict:
+        worst = max(c.input_count for c in hard_infeasible)
+        raise InfeasiblePartitionError(
+            f"{len(hard_infeasible)} cluster(s) cannot meet l_k={config.lk} "
+            f"(worst ι={worst}); raise l_k or β"
+        )
+    return MakeGroupResult(
+        partition=partition,
+        cut_state=state,
+        saturation=saturation,
+        n_splits=n_splits,
+        infeasible_clusters=infeasible,
+    )

@@ -1,0 +1,142 @@
+"""``Make_Set`` and the modified DFS (Tables 5, 6, 7 of the paper).
+
+``Make_Set`` groups a node list into clusters by depth-first search over
+*traversable* nets.  A net is traversable unless it is a cut: nets whose
+congestion distance reaches the current ``boundary`` are cut, **subject to
+the per-SCC budget of Eq. 6** — once an SCC ``λ`` has absorbed
+``β × f(λ)`` cuts, its remaining nets are pinned traversable by zeroing
+their distance (Table 7, STEP 2.1.2.1), which welds the rest of the SCC
+into a single cluster.
+
+Deviations from the literal pseudo-code, per DESIGN.md:
+
+* traversal is undirected (clusters are connected components), so the
+  grouping is independent of seed choice;
+* nets sourced by primary inputs or DFFs are *permanent free boundaries*:
+  never traversed, never charged as cuts — a register already sits there.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Set
+
+from ..graphs.digraph import CircuitGraph, Net, NodeKind
+from ..graphs.scc import SCCIndex
+
+__all__ = ["CutState", "make_set"]
+
+
+class CutState:
+    """Mutable cut bookkeeping shared across ``Make_Set`` invocations.
+
+    Tracks the explicit cut registry ``χ``, the per-SCC charge counters
+    ``c(λ)`` and the nets pinned traversable after a budget exhaustion.
+    """
+
+    def __init__(self, graph: CircuitGraph, scc_index: SCCIndex, beta: int):
+        self.graph = graph
+        self.scc_index = scc_index
+        self.beta = beta
+        self.cut: Set[str] = set()
+        self.forced: Set[str] = set()
+        self.budget_exhaustions = 0
+        scc_index.reset_cut_counts()
+
+    # ------------------------------------------------------------------
+    def is_boundary_net(self, net: Net) -> bool:
+        """True for nets that are free register boundaries (PI/DFF source)."""
+        return self.graph.kind(net.source) is not NodeKind.COMB
+
+    def traversable(self, net: Net, boundary: float) -> bool:
+        """Decide (and record) whether DFS may cross ``net``.
+
+        Implements Table 7 STEP 2: at or above the boundary the net is cut
+        if its SCC still has budget (or it is not on an SCC); otherwise the
+        SCC's remaining nets are pinned traversable.
+        """
+        if self.is_boundary_net(net):
+            return False  # free boundary: cluster ends here, no cut charged
+        if net.name in self.cut:
+            return False
+        if net.name in self.forced:
+            return True
+        if net.dist < boundary or net.dist <= 0.0:
+            return True
+        scc = self.scc_index.scc_of_net(net.name)
+        if scc is None:
+            self.cut.add(net.name)
+            return False
+        if scc.cut_count < scc.cut_budget(self.beta):
+            scc.cut_count += 1
+            self.cut.add(net.name)
+            return False
+        # Budget exhausted: pin the SCC's remaining nets traversable
+        # (Table 7 STEP 2.1.2.1 sets their distance to an insignificant 0).
+        self.budget_exhaustions += 1
+        for name in scc.internal_nets:
+            if name not in self.cut:
+                self.forced.add(name)
+                self.graph.net(name).dist = 0.0
+        return True
+
+    def n_cuts(self) -> int:
+        return len(self.cut)
+
+
+def make_set(
+    graph: CircuitGraph,
+    nodes: Iterable[str],
+    boundary: float,
+    state: CutState,
+    locked: Optional[Set[str]] = None,
+) -> List[Set[str]]:
+    """Group ``nodes`` into clusters below the congestion ``boundary``.
+
+    Args:
+        graph: the saturated circuit graph.
+        nodes: candidate members (register/combinational nodes). Primary
+            inputs are ignored if present.
+        boundary: current distance threshold (Table 4's Extract_Max value).
+        state: shared :class:`CutState`.
+        locked: nodes Merced must not touch (Table 5, STEP 2.1); they are
+            returned each as their own singleton cluster.
+
+    Returns:
+        Disjoint node sets (connected components over traversable nets),
+        in discovery order.
+    """
+    locked = locked or set()
+    members = {
+        n
+        for n in nodes
+        if graph.kind(n) is not NodeKind.INPUT and n not in locked
+    }
+    assigned: Set[str] = set()
+    groups: List[Set[str]] = []
+    # Deterministic seed order: str hashing is salted per process, so raw
+    # set iteration would make cluster numbering (and SCC budget charging
+    # order) vary between runs.
+    for seed in sorted(members):
+        if seed in assigned:
+            continue
+        group: Set[str] = set()
+        stack = [seed]
+        assigned.add(seed)
+        while stack:
+            node = stack.pop()
+            group.add(node)
+            for net in graph.out_nets(node) + graph.in_nets(node):
+                if not state.traversable(net, boundary):
+                    continue
+                for neighbor in (net.source,) + net.sinks:
+                    if (
+                        neighbor in members
+                        and neighbor not in assigned
+                    ):
+                        assigned.add(neighbor)
+                        stack.append(neighbor)
+        groups.append(group)
+    for node in sorted(locked):
+        if node in set(nodes):
+            groups.append({node})
+    return groups

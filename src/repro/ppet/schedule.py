@@ -1,0 +1,148 @@
+"""Test-pipe scheduling and the testing-time model (Figure 1(b)).
+
+Every CUT is tested by a CBIT pair — its own input CBIT generating
+patterns and the observing CBIT(s) compacting responses.  One CBIT can
+simultaneously *generate* for the segment it feeds and *compact* for the
+segment feeding it only in dual (MISR) mode for its own segment; across
+**distinct** CBITs the roles conflict, so the segments are covered in a
+sequence of *test pipes*: in each pipe every CBIT holds a single role
+(TPG or PSA) and the pipe tests every CUT whose generator is in TPG mode
+and whose observers are all in PSA mode.
+
+Per Figure 1(b), a pipe runs for ``2^(widest active generator)`` clocks;
+the session adds the scan-chain init/read-out overhead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from ..cbit.assemble import CBITPlan
+from ..errors import CBITError
+from ..graphs.digraph import NodeKind
+from ..partition.clusters import Partition
+
+__all__ = ["observer_map", "TestPipe", "TestSchedule", "schedule_pipes"]
+
+
+def observer_map(partition: Partition) -> Dict[int, Set[int]]:
+    """Cluster → clusters observing its outputs (distinct CBIT pairs).
+
+    Cluster ``Y`` observes ``X`` when a combinational signal of ``X``
+    feeds a combinational cell of ``Y`` across the boundary (a cut net's
+    A_CELL belongs to ``Y``'s input CBIT) or the data input of a DFF whose
+    output ``Y`` reads (the DFF is grouped into ``Y``'s CBIT).  Self
+    observation (X = Y) is dual-mode and needs no separate pipe.
+    """
+    graph = partition.graph
+    obs: Dict[int, Set[int]] = {c.cluster_id: set() for c in partition.clusters}
+
+    def owner(node: str) -> Optional[int]:
+        cl = partition.cluster_of(node)
+        return None if cl is None else cl.cluster_id
+
+    # DFF output net -> cluster whose CBIT absorbs it (first reader cluster)
+    dff_owner: Dict[str, int] = {}
+    for cluster in partition.clusters:
+        for net_name in cluster.input_nets:
+            src = graph.net(net_name).source
+            if graph.kind(src) is NodeKind.REGISTER:
+                dff_owner.setdefault(net_name, cluster.cluster_id)
+
+    for net in graph.nets():
+        src = net.source
+        if graph.kind(src) is not NodeKind.COMB:
+            continue
+        x = owner(src)
+        if x is None:
+            continue
+        for sink in net.sinks:
+            kind = graph.kind(sink)
+            if kind is NodeKind.COMB:
+                y = owner(sink)
+                if y is not None and y != x:
+                    obs[x].add(y)
+            elif kind is NodeKind.REGISTER:
+                y = dff_owner.get(sink)
+                if y is not None and y != x:
+                    obs[x].add(y)
+    return obs
+
+
+@dataclass(frozen=True)
+class TestPipe:
+    """One concurrent test phase."""
+
+    index: int
+    tested_clusters: Tuple[int, ...]
+    tpg_clusters: FrozenSet[int]
+    psa_clusters: FrozenSet[int]
+    cycles: int  # 2^(widest active generator CBIT)
+
+
+@dataclass(frozen=True)
+class TestSchedule:
+    """Full self-test timing (Figure 1(b) plus scan overhead)."""
+
+    pipes: Tuple[TestPipe, ...]
+    scan_cycles: int
+
+    @property
+    def test_cycles(self) -> int:
+        return sum(p.cycles for p in self.pipes)
+
+    @property
+    def total_cycles(self) -> int:
+        return self.test_cycles + self.scan_cycles
+
+    @property
+    def n_pipes(self) -> int:
+        return len(self.pipes)
+
+
+def schedule_pipes(
+    partition: Partition,
+    plan: CBITPlan,
+    scan_cycles: int = 0,
+) -> TestSchedule:
+    """Greedy test-pipe construction covering every cluster with a CBIT.
+
+    Each round 2-colours the remaining conflict structure: clusters are
+    pulled into the TPG side unless one of their observers is already a
+    generator this round, in which case they wait for a later pipe.
+    """
+    widths = {a.cluster_id: a.width for a in plan.assignments}
+    obs = observer_map(partition)
+    pending: Set[int] = set(widths)
+    pipes: List[TestPipe] = []
+    while pending:
+        tpg: Set[int] = set()
+        psa: Set[int] = set()
+        tested: List[int] = []
+        # deterministic order: widest first so big CBITs share one pipe
+        for cid in sorted(pending, key=lambda c: (-widths[c], c)):
+            observers = {o for o in obs.get(cid, ()) if o in widths} - {cid}
+            # cid must be TPG; its observers must be PSA
+            if cid in psa or observers & tpg:
+                continue
+            tpg.add(cid)
+            psa |= observers
+            tested.append(cid)
+        if not tested:
+            raise CBITError(
+                "test-pipe scheduling stalled; conflict structure is "
+                "unsatisfiable"
+            )
+        cycles = 1 << max(widths[c] for c in tested)
+        pipes.append(
+            TestPipe(
+                index=len(pipes),
+                tested_clusters=tuple(tested),
+                tpg_clusters=frozenset(tpg),
+                psa_clusters=frozenset(psa),
+                cycles=cycles,
+            )
+        )
+        pending -= set(tested)
+    return TestSchedule(pipes=tuple(pipes), scan_cycles=scan_cycles)

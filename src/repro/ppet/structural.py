@@ -1,0 +1,241 @@
+"""Self-test through the *emitted* BIST netlist (gate-level validation).
+
+:mod:`repro.ppet.session` grades faults behaviourally (extracted CUT +
+ideal LFSR/MISR).  This module closes the loop at the hardware level: it
+simulates the actual inserted test structures —
+:func:`repro.cbit.insert.insert_test_hardware`'s netlist — clock by clock
+in test mode, reads the per-CBIT signatures out of the register states,
+and grades faults by injecting them into the gate-level simulation.  A
+fault is detected when any CBIT signature differs from the fault-free run.
+
+This is the "does the silicon we emit actually catch the fault?" check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+from ..cbit.insert import BISTCircuit, SCAN_EN, SCAN_IN, TEST_MODE
+from ..errors import SimulationError
+from ..faults.model import StuckAtFault, fault_masks
+from ..sim.seqsim import SequentialSimulator
+
+__all__ = [
+    "StructuralSignatures",
+    "StructuralSelfTest",
+    "run_structural_selftest",
+    "run_structural_pipes",
+]
+
+
+@dataclass(frozen=True)
+class StructuralSignatures:
+    """Per-CBIT signatures after a structural test-mode run."""
+
+    per_chain: Tuple[Tuple[int, int], ...]  # (cluster id, packed signature)
+
+    def as_dict(self) -> Dict[int, int]:
+        return dict(self.per_chain)
+
+    def differs_from(self, other: "StructuralSignatures") -> List[int]:
+        """Chain ids whose signature differs."""
+        mine, theirs = self.as_dict(), other.as_dict()
+        return [cid for cid, sig in mine.items() if sig != theirs.get(cid)]
+
+
+def _signatures(bist: BISTCircuit, state: Mapping[str, int]) -> StructuralSignatures:
+    per_chain: List[Tuple[int, int]] = []
+    for cid, chain in sorted(bist.cbit_chains.items()):
+        sig = 0
+        for i, reg in enumerate(chain):
+            if state.get(reg, 0) & 1:
+                sig |= 1 << i
+        per_chain.append((cid, sig))
+    return StructuralSignatures(tuple(per_chain))
+
+
+@dataclass
+class StructuralSelfTest:
+    """Outcome of :func:`run_structural_selftest`."""
+
+    golden: StructuralSignatures
+    detected: Set[StuckAtFault]
+    undetected: Set[StuckAtFault]
+    n_cycles: int
+
+    @property
+    def coverage(self) -> float:
+        total = len(self.detected) + len(self.undetected)
+        return len(self.detected) / total if total else 1.0
+
+
+def run_structural_selftest(
+    bist: BISTCircuit,
+    n_cycles: int,
+    faults: Sequence[StuckAtFault] = (),
+    pi_values: Optional[Mapping[str, int]] = None,
+    seed_state: int = 0,
+) -> StructuralSelfTest:
+    """Clock the emitted netlist in test mode and grade ``faults``.
+
+    Args:
+        bist: output of :func:`repro.cbit.insert.insert_test_hardware`.
+        n_cycles: test-mode clocks to apply (2^widest-CBIT covers every
+            chain's full pattern space).
+        faults: stuck-at faults on signals of the BIST netlist (original
+            signal names are preserved, so original-circuit fault lists
+            apply directly).
+        pi_values: values held on the functional primary inputs during
+            self-test (all-0 by default; in full in-situ BIST the PI cells
+            inserted with ``include_primary_inputs`` drive them instead).
+
+    Returns:
+        A :class:`StructuralSelfTest` with the fault-free signatures and
+        the detected/undetected split.
+    """
+    if n_cycles < 1:
+        raise SimulationError("n_cycles must be positive")
+    nl = bist.netlist
+    base = {pi: 0 for pi in nl.inputs}
+    # dual-mode netlists: free-running self-test = every chain in PSA role
+    for pi in nl.inputs:
+        if pi.startswith("psa_en_"):
+            base[pi] = 1
+    if pi_values:
+        base.update(pi_values)
+    base[TEST_MODE] = 1
+    if bist.has_scan:
+        base[SCAN_EN] = 0
+        base[SCAN_IN] = 0
+
+    def run(mask_faults: Optional[Dict[str, tuple]]) -> StructuralSignatures:
+        sim = SequentialSimulator(nl)
+        sim.reset(
+            {q: (seed_state >> i) & 1 for i, q in enumerate(bist.chain_order)}
+        )
+        for _ in range(n_cycles):
+            sim.step(base, faults=mask_faults)
+        return _signatures(bist, sim.state)
+
+    golden = run(None)
+    detected: Set[StuckAtFault] = set()
+    undetected: Set[StuckAtFault] = set()
+    for fault in faults:
+        if not nl.has_signal(fault.signal):
+            raise SimulationError(
+                f"fault site {fault.signal!r} not in the BIST netlist"
+            )
+        sigs = run(fault_masks(fault, 1))
+        if sigs.differs_from(golden):
+            detected.add(fault)
+        else:
+            undetected.add(fault)
+    return StructuralSelfTest(
+        golden=golden,
+        detected=detected,
+        undetected=undetected,
+        n_cycles=n_cycles,
+    )
+
+
+def run_structural_pipes(
+    bist: BISTCircuit,
+    schedule,
+    faults: Sequence[StuckAtFault] = (),
+    cycles_per_pipe: Optional[int] = None,
+    pi_values: Optional[Mapping[str, int]] = None,
+    seed_state: int = 0b1011011011011011,
+) -> StructuralSelfTest:
+    """Run the paper's test pipes through the emitted dual-mode netlist.
+
+    Requires a BIST netlist built with ``dual_mode_controls=True``.  For
+    each pipe of ``schedule`` (a :class:`repro.ppet.schedule.TestSchedule`)
+    the TPG chains' ``psa_en`` inputs are driven 0 (pure LFSR generation)
+    and all others 1 (signature compaction), the machine is clocked for
+    ``2^(widest active chain)`` cycles (or ``cycles_per_pipe``), and the
+    PSA signatures are collected.  A fault is detected when any PSA-role
+    signature differs from the fault-free run in any pipe.
+    """
+    nl = bist.netlist
+    chain_ids = sorted(bist.cbit_chains)
+    psa_pins = {cid: f"psa_en_{cid}" for cid in chain_ids}
+    for pin in psa_pins.values():
+        if pin not in nl.inputs:
+            raise SimulationError(
+                "BIST netlist lacks dual-mode controls; rebuild with "
+                "insert_test_hardware(..., dual_mode_controls=True)"
+            )
+
+    base = {pi: 0 for pi in nl.inputs}
+    if pi_values:
+        base.update(pi_values)
+    base[TEST_MODE] = 1
+    if bist.has_scan:
+        base[SCAN_EN] = 0
+        base[SCAN_IN] = 0
+
+    def run(mask_faults) -> List[Tuple[int, Tuple[Tuple[int, int], ...]]]:
+        observations = []
+        for pipe in schedule.pipes:
+            sim = SequentialSimulator(nl)
+            sim.reset(
+                {
+                    q: (seed_state >> i) & 1
+                    for i, q in enumerate(bist.chain_order)
+                }
+            )
+            drive = dict(base)
+            for cid in chain_ids:
+                drive[psa_pins[cid]] = 0 if cid in pipe.tpg_clusters else 1
+            widest = max(
+                (
+                    len(bist.cbit_chains[c])
+                    for c in pipe.tested_clusters
+                    if c in bist.cbit_chains
+                ),
+                default=1,
+            )
+            cycles = cycles_per_pipe or (1 << widest)
+            for _ in range(cycles):
+                sim.step(drive, faults=mask_faults)
+            sigs = _signatures(bist, sim.state).as_dict()
+            observed = tuple(
+                (cid, sigs[cid])
+                for cid in chain_ids
+                if cid in pipe.psa_clusters
+                or (bist.cbit_chains.get(cid) and cid not in pipe.tpg_clusters)
+            )
+            observations.append((pipe.index, observed))
+        return observations
+
+    golden = run(None)
+    detected: Set[StuckAtFault] = set()
+    undetected: Set[StuckAtFault] = set()
+    total_cycles = 0
+    for pipe in schedule.pipes:
+        widest = max(
+            (
+                len(bist.cbit_chains[c])
+                for c in pipe.tested_clusters
+                if c in bist.cbit_chains
+            ),
+            default=1,
+        )
+        total_cycles += cycles_per_pipe or (1 << widest)
+    for fault in faults:
+        if not nl.has_signal(fault.signal):
+            raise SimulationError(
+                f"fault site {fault.signal!r} not in the BIST netlist"
+            )
+        if run(fault_masks(fault, 1)) != golden:
+            detected.add(fault)
+        else:
+            undetected.add(fault)
+    golden_last = dict(golden[-1][1]) if golden else {}
+    return StructuralSelfTest(
+        golden=StructuralSignatures(tuple(sorted(golden_last.items()))),
+        detected=detected,
+        undetected=undetected,
+        n_cycles=total_cycles,
+    )

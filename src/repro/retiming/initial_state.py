@@ -1,0 +1,146 @@
+"""Initial states for retimed circuits (paper §5, citing Touati/Brayton [16]).
+
+Retiming preserves steady-state behaviour but not the power-up state: the
+retimed registers need initial values that make the machine externally
+equivalent to the original from clock 0.  Touati/Brayton solve this by
+backward justification; here we provide:
+
+* :func:`check_equivalence` — probabilistic black-box equivalence of two
+  (netlist, state) pairs under common random stimuli, with an optional
+  latency ``skip`` (registers added on I/O paths shift outputs in time);
+* :func:`find_equivalent_initial_state` — exact search over the retimed
+  register values for small register counts (exhaustive), falling back to
+  random probing; returns the first state passing the equivalence probe.
+
+Forward register moves always admit such a state; backward moves may not
+(the paper's remedy is reset circuitry), in which case the search raises.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Dict, Mapping, Optional, Tuple
+
+from ..errors import RetimingError
+from ..netlist.netlist import Netlist
+from ..sim.seqsim import SequentialSimulator, random_input_sequence
+
+__all__ = ["check_equivalence", "find_equivalent_initial_state"]
+
+
+def check_equivalence(
+    original: Netlist,
+    original_state: Mapping[str, int],
+    retimed: Netlist,
+    retimed_state: Mapping[str, int],
+    n_steps: int = 12,
+    n_sequences: int = 4,
+    seed: Optional[int] = 0,
+    skip: int = 0,
+    latency: int = 0,
+) -> bool:
+    """Probe behavioural equivalence under common random input sequences.
+
+    Both netlists must have the same primary inputs.  Primary outputs are
+    compared by *cone*: the retimed circuit's outputs are matched to the
+    original's via their names when equal, otherwise positionally.  This
+    is a Monte-Carlo check — it can accept a wrong state with probability
+    shrinking in ``n_steps × n_sequences``, never reject a right one.
+
+    Args:
+        skip: ignore the first clocks of both traces.
+        latency: clocks by which the *retimed* outputs lag the originals
+            (registers added on output paths shift the trace in time);
+            negative values mean the retimed circuit leads.
+    """
+    if set(original.inputs) != set(retimed.inputs):
+        raise RetimingError("netlists have different primary inputs")
+    if abs(latency) >= n_steps:
+        raise RetimingError("latency must be smaller than n_steps")
+    sim_a = SequentialSimulator(original)
+    sim_b = SequentialSimulator(retimed)
+    rng = random.Random(seed)
+    for _ in range(n_sequences):
+        seq = random_input_sequence(original, n_steps, seed=rng.randrange(1 << 30))
+        trace_a = sim_a.run(seq, state=original_state)
+        trace_b = sim_b.run(seq, state=retimed_state)
+        if len(trace_a[0]) != len(trace_b[0]):
+            raise RetimingError(
+                "netlists expose different primary output counts"
+            )
+        if latency >= 0:
+            aligned_a = trace_a[: len(trace_a) - latency]
+            aligned_b = trace_b[latency:]
+        else:
+            aligned_a = trace_a[-latency:]
+            aligned_b = trace_b[: len(trace_b) + latency]
+        if aligned_a[skip:] != aligned_b[skip:]:
+            return False
+    return True
+
+
+def find_equivalent_initial_state(
+    original: Netlist,
+    retimed: Netlist,
+    original_state: Optional[Mapping[str, int]] = None,
+    max_exhaustive_registers: int = 14,
+    n_random_probes: int = 256,
+    n_steps: int = 10,
+    n_sequences: int = 3,
+    seed: Optional[int] = 0,
+    skip: int = 0,
+    latency: int = 0,
+) -> Dict[str, int]:
+    """Search an initial state of ``retimed`` equivalent to the original.
+
+    Strategy: try all-zero first (free reset); then exhaust the
+    ``2^R`` register assignments when ``R ≤ max_exhaustive_registers``;
+    otherwise draw random assignments.  Every candidate is screened with
+    :func:`check_equivalence`.
+
+    Returns:
+        A register-state dict for ``retimed``.
+
+    Raises:
+        RetimingError: no equivalent state found — backward register
+            moves crossed unjustifiable logic; add reset circuitry (the
+            paper's suggestion) or recompute states per Touati/Brayton.
+    """
+    original_state = dict(original_state or {})
+    regs = sorted(c.output for c in retimed.dff_cells())
+    rng = random.Random(seed)
+
+    def probe(bits: Tuple[int, ...]) -> bool:
+        state = dict(zip(regs, bits))
+        return check_equivalence(
+            original,
+            original_state,
+            retimed,
+            state,
+            n_steps=n_steps,
+            n_sequences=n_sequences,
+            seed=seed,
+            skip=skip,
+            latency=latency,
+        )
+
+    zero = tuple(0 for _ in regs)
+    if probe(zero):
+        return dict(zip(regs, zero))
+    if len(regs) <= max_exhaustive_registers:
+        for bits in itertools.product((0, 1), repeat=len(regs)):
+            if bits == zero:
+                continue
+            if probe(bits):
+                return dict(zip(regs, bits))
+    else:
+        for _ in range(n_random_probes):
+            bits = tuple(rng.randint(0, 1) for _ in regs)
+            if probe(bits):
+                return dict(zip(regs, bits))
+    raise RetimingError(
+        f"no equivalent initial state found for {retimed.name!r} "
+        f"({len(regs)} registers); backward-moved registers need reset "
+        f"logic or Touati/Brayton justification"
+    )

@@ -1,0 +1,118 @@
+"""Retiming verification: infer the ρ relating two netlists, or prove none.
+
+Two synchronous netlists with identical combinational cells are retimings
+of each other iff there is a potential ``ρ`` with, for every cell-to-cell
+connection, ``k_after = k_before + ρ(head) − ρ(tail)``.  We infer ρ by
+propagating potentials over the connection graph and report the first
+inconsistency — in particular any cycle whose register count changed
+(Corollary 2 violation) surfaces as a potential conflict.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Tuple
+
+from ..errors import RetimingError
+from ..netlist.netlist import Netlist
+from .apply import trace_to_driver
+
+__all__ = ["connection_deltas", "infer_retiming", "verify_retiming"]
+
+
+def connection_deltas(
+    before: Netlist, after: Netlist
+) -> List[Tuple[str, str, int]]:
+    """Per-connection register-count deltas ``(tail, head, Δk)``.
+
+    Raises :class:`RetimingError` when the combinational structures do not
+    match (different cells, functions, or underlying drivers).
+    """
+    before_cells = {c.output: c for c in before.comb_cells()}
+    after_cells = {c.output: c for c in after.comb_cells()}
+    if set(before_cells) != set(after_cells):
+        missing = set(before_cells) ^ set(after_cells)
+        raise RetimingError(
+            f"combinational cells differ; e.g. {sorted(missing)[:5]}"
+        )
+    deltas: List[Tuple[str, str, int]] = []
+    for name, b_cell in before_cells.items():
+        a_cell = after_cells[name]
+        if a_cell.gtype is not b_cell.gtype or a_cell.fanin != b_cell.fanin:
+            raise RetimingError(
+                f"cell {name!r} changed: {b_cell.gtype.value}/{b_cell.fanin} "
+                f"vs {a_cell.gtype.value}/{a_cell.fanin}"
+            )
+        for pin in range(b_cell.fanin):
+            b_drv, b_k = trace_to_driver(before, b_cell.inputs[pin])
+            a_drv, a_k = trace_to_driver(after, a_cell.inputs[pin])
+            if b_drv != a_drv:
+                raise RetimingError(
+                    f"cell {name!r} pin {pin} driver changed: "
+                    f"{b_drv!r} vs {a_drv!r}"
+                )
+            deltas.append((b_drv, name, a_k - b_k))
+    return deltas
+
+
+def infer_retiming(before: Netlist, after: Netlist) -> Dict[str, int]:
+    """Infer the retiming vector ρ mapping ``before`` to ``after``.
+
+    Returns ρ (normalized so that every primary input has lag 0 where
+    connected; otherwise the component's first-seen node anchors at 0).
+
+    Raises:
+        RetimingError: the two netlists are not related by a legal
+            retiming of the same combinational structure.
+    """
+    deltas = connection_deltas(before, after)
+    adj: Dict[str, List[Tuple[str, int]]] = {}
+    for tail, head, dk in deltas:
+        # dk = ρ(head) − ρ(tail)
+        adj.setdefault(tail, []).append((head, dk))
+        adj.setdefault(head, []).append((tail, -dk))
+    rho: Dict[str, int] = {}
+    # anchor primary inputs first for a canonical normalization
+    seeds = [pi for pi in before.inputs if pi in adj] + sorted(adj)
+    for seed in seeds:
+        if seed in rho:
+            continue
+        rho[seed] = 0
+        queue = deque([seed])
+        while queue:
+            node = queue.popleft()
+            for nxt, dk in adj.get(node, ()):
+                want = rho[node] + dk
+                if nxt in rho:
+                    if rho[nxt] != want:
+                        raise RetimingError(
+                            f"inconsistent register redistribution at "
+                            f"{nxt!r}: ρ={rho[nxt]} vs {want} — some cycle's "
+                            f"register count changed (Corollary 2)"
+                        )
+                else:
+                    rho[nxt] = want
+                    queue.append(nxt)
+    return rho
+
+
+def verify_retiming(before: Netlist, after: Netlist) -> Dict[str, int]:
+    """Like :func:`infer_retiming`, also checking primary-output cones.
+
+    Output *latency* is allowed to change (the paper permits adding
+    registers on I/O paths); what must hold is that every original PO's
+    driving cone is still observable at some retimed PO.
+    """
+    rho = infer_retiming(before, after)
+    after_po_drivers = set()
+    for po in after.outputs:
+        drv, _k = trace_to_driver(after, po)
+        after_po_drivers.add(drv)
+    for po in before.outputs:
+        drv, _k_before = trace_to_driver(before, po)
+        if drv not in after_po_drivers:
+            raise RetimingError(
+                f"primary output cone of {po!r} (driver {drv!r}) is not "
+                f"observable in the retimed netlist"
+            )
+    return rho

@@ -1,0 +1,195 @@
+"""Retiming feasibility solver for cut-net register placement.
+
+Given the cut nets chosen by the partitioner, we want a legal retiming
+that leaves **at least one register on every cut net** (so the A_CELL can
+be built from a functional DFF instead of a fresh register + MUX).
+
+Each requirement ``w_ρ(e) ≥ r(e)`` with ``w_ρ(e) = w(e) + ρ(head) − ρ(tail)``
+is the difference constraint ``ρ(tail) − ρ(head) ≤ w(e) − r(e)``, solvable
+by Bellman–Ford on the constraint graph; a negative cycle certifies
+infeasibility, and — by Corollary 2 — negative cycles appear exactly when
+some circuit cycle is asked to hold more registers than it owns
+(``χ(λ) > f(λ)``).  When that happens the solver drops requirements on
+the offending cycle one at a time (those cuts keep their MUXed A_CELLs)
+until the system is feasible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..errors import RetimingError
+from ..graphs.digraph import CircuitGraph
+from ..graphs.paths import WeightedEdge, register_weighted_edges
+from .model import Retiming, retimed_weight
+
+__all__ = ["RetimingSolution", "solve_cut_retiming", "bellman_ford_constraints"]
+
+
+@dataclass
+class RetimingSolution:
+    """Result of :func:`solve_cut_retiming`."""
+
+    retiming: Retiming
+    covered_cuts: Set[str]  # cut nets guaranteed a register (A_CELL at 0.9)
+    dropped_cuts: Set[str]  # cut nets needing MUXed A_CELLs (2.3)
+    iterations: int
+
+    @property
+    def coverage(self) -> float:
+        total = len(self.covered_cuts) + len(self.dropped_cuts)
+        return len(self.covered_cuts) / total if total else 1.0
+
+
+def bellman_ford_constraints(
+    nodes: Sequence[str],
+    constraints: Sequence[Tuple[str, str, int]],
+) -> Tuple[Optional[Dict[str, int]], Optional[List[int]]]:
+    """Solve ``x_u − x_v ≤ c`` difference constraints.
+
+    Args:
+        nodes: all variables.
+        constraints: triples ``(u, v, c)`` meaning ``x_u − x_v ≤ c``
+            (a constraint-graph edge ``v → u`` of weight ``c``).
+
+    Returns:
+        ``(solution, None)`` on feasibility (a minimal-violation-free
+        assignment), or ``(None, cycle_constraint_indices)`` where the
+        indices identify constraints on one negative cycle.
+    """
+    dist: Dict[str, int] = {n: 0 for n in nodes}
+    pred: Dict[str, Optional[int]] = {n: None for n in nodes}  # constraint idx
+    n = len(nodes)
+    updated_node: Optional[str] = None
+    for it in range(n):
+        updated_node = None
+        for idx, (u, v, c) in enumerate(constraints):
+            if dist[v] + c < dist[u]:
+                dist[u] = dist[v] + c
+                pred[u] = idx
+                updated_node = u
+        if updated_node is None:
+            return dist, None
+    # negative cycle: walk predecessors n times to land on the cycle
+    node = updated_node
+    for _ in range(n):
+        idx = pred[node]
+        assert idx is not None
+        node = constraints[idx][1]
+    cycle: List[int] = []
+    start = node
+    while True:
+        idx = pred[node]
+        assert idx is not None
+        cycle.append(idx)
+        node = constraints[idx][1]
+        if node == start:
+            break
+    return None, cycle
+
+
+def solve_cut_retiming(
+    graph: CircuitGraph,
+    cut_nets: Iterable[str],
+    edges: Optional[Sequence[WeightedEdge]] = None,
+    max_iterations: int = 100000,
+    pin_io: bool = False,
+) -> RetimingSolution:
+    """Find a legal retiming registering as many cut nets as possible.
+
+    Args:
+        graph: the circuit graph (used to collapse registers into edge
+            weights unless ``edges`` is given).
+        cut_nets: nets that should carry a register after retiming.
+        edges: precomputed register-weighted edges (performance hook).
+        pin_io: force every primary input and virtual PO sink to share one
+            lag (the Leiserson–Saxe host condition), so the retimed
+            circuit is cycle-accurate I/O equivalent to the original.
+            The paper's accounting leaves this off — it accepts latency
+            shifts on input/output paths in exchange for covering more
+            cuts (Eq. 1 "registers can be added arbitrarily").
+
+    Returns:
+        A :class:`RetimingSolution`; its ``retiming`` is legal, every
+        edge carrying a covered cut holds ≥ 1 register, and dropped cuts
+        are exactly those whose requirements sat on register-starved (or,
+        with ``pin_io``, latency-pinned) paths.
+    """
+    from ..graphs.build import is_po_node
+
+    if edges is None:
+        edges = register_weighted_edges(graph)
+    cut_set = set(cut_nets)
+    nodes = sorted({e.tail for e in edges} | {e.head for e in edges})
+    io_constraints: List[Tuple[str, str, int]] = []
+    if pin_io:
+        host = "__host__"
+        while host in nodes:  # pragma: no cover - pathological name clash
+            host += "_"
+        nodes.append(host)
+        from ..graphs.digraph import NodeKind
+
+        for n in nodes[:-1]:
+            is_io = is_po_node(n) or (
+                graph.has_node(n) and graph.kind(n) is NodeKind.INPUT
+            )
+            if is_io:
+                io_constraints.append((n, host, 0))
+                io_constraints.append((host, n, 0))
+
+    # requirement per edge: 1 when the edge's first via-net is a cut
+    required: Dict[int, int] = {}
+    cut_edges: Dict[str, List[int]] = {}
+    for i, e in enumerate(edges):
+        first = e.via_nets[0]
+        if first in cut_set:
+            required[i] = 1
+            cut_edges.setdefault(first, []).append(i)
+
+    dropped: Set[str] = set()
+    iterations = 0
+    while True:
+        iterations += 1
+        if iterations > max_iterations:  # pragma: no cover - defensive
+            raise RetimingError("cut-retiming relaxation failed to converge")
+        constraints = [
+            (e.tail, e.head, e.weight - required.get(i, 0))
+            for i, e in enumerate(edges)
+        ] + io_constraints
+        solution, cycle = bellman_ford_constraints(nodes, constraints)
+        if solution is not None:
+            rho = solution
+            break
+        # drop one required cut on the offending cycle
+        req_on_cycle = [i for i in cycle if required.get(i, 0) > 0]
+        if not req_on_cycle:
+            raise RetimingError(
+                "negative cycle without register requirements: the circuit "
+                "has a combinational cycle or inconsistent edge weights"
+            )
+        victim_edge = req_on_cycle[0]
+        victim_net = edges[victim_edge].via_nets[0]
+        dropped.add(victim_net)
+        for i in cut_edges.get(victim_net, ()):
+            required.pop(i, None)
+
+    retiming = Retiming(edges=tuple(edges), rho=rho)
+    retiming.assert_legal()
+    covered: Set[str] = set()
+    for net, idxs in cut_edges.items():
+        if net in dropped:
+            continue
+        if all(retimed_weight(edges[i], rho) >= 1 for i in idxs):
+            covered.add(net)
+        else:  # pragma: no cover - defensive; solver should guarantee this
+            dropped.add(net)
+    # cuts whose net never appears as a via head (e.g. dangling) count covered
+    for net in cut_set - covered - dropped:
+        covered.add(net)
+    return RetimingSolution(
+        retiming=retiming,
+        covered_cuts=covered,
+        dropped_cuts=dropped,
+        iterations=iterations,
+    )

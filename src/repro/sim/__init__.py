@@ -1,0 +1,16 @@
+"""Logic simulation substrate: levelization, parallel-pattern, sequential."""
+
+from .levelize import LevelizedCircuit, levelize
+from .logicsim import CombSimulator, pack_patterns, unpack_word
+from .seqsim import SequentialSimulator, random_input_sequence, sequences_equal
+
+__all__ = [
+    "LevelizedCircuit",
+    "levelize",
+    "CombSimulator",
+    "pack_patterns",
+    "unpack_word",
+    "SequentialSimulator",
+    "random_input_sequence",
+    "sequences_equal",
+]

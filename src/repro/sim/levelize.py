@@ -1,0 +1,48 @@
+"""Levelization: order combinational cells for single-pass evaluation.
+
+A levelized netlist evaluates each combinational cell exactly once per
+clock, after all of its fan-ins.  Levels are also useful diagnostics
+(logic depth per stage).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from ..netlist.cells import Cell
+from ..netlist.netlist import Netlist
+
+__all__ = ["LevelizedCircuit", "levelize"]
+
+
+@dataclass(frozen=True)
+class LevelizedCircuit:
+    """Topologically ordered combinational core of a netlist."""
+
+    order: Tuple[Cell, ...]  # evaluation order
+    level: Dict[str, int]  # signal -> logic depth (PIs and DFF outputs = 0)
+
+    @property
+    def depth(self) -> int:
+        """Maximum logic depth (0 for a register-only circuit)."""
+        return max(self.level.values(), default=0)
+
+
+def levelize(netlist: Netlist) -> LevelizedCircuit:
+    """Compute evaluation order and per-signal logic levels.
+
+    Primary inputs and DFF outputs are level 0; a gate's level is
+    ``1 + max(level of fan-ins)``.
+    """
+    order = netlist.topological_comb_order()
+    level: Dict[str, int] = {}
+    for sig in netlist.inputs:
+        level[sig] = 0
+    for cell in netlist.dff_cells():
+        level[cell.output] = 0
+    for cell in order:
+        level[cell.output] = 1 + max(
+            (level.get(s, 0) for s in cell.inputs), default=0
+        )
+    return LevelizedCircuit(order=tuple(order), level=level)

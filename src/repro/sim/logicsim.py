@@ -1,0 +1,108 @@
+"""Parallel-pattern combinational logic simulation.
+
+Signal values are Python ints used as bit-vectors: bit ``i`` of a word is
+the signal's value under pattern ``i``, so one pass over the levelized
+netlist evaluates arbitrarily many patterns at once (Python's big ints
+make the "machine word" as wide as the pattern block).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from ..errors import SimulationError
+from ..netlist.gates import GATE_EVALUATORS
+from ..netlist.netlist import Netlist
+from .levelize import LevelizedCircuit, levelize
+
+__all__ = ["CombSimulator", "pack_patterns", "unpack_word"]
+
+
+def pack_patterns(patterns: Sequence[Mapping[str, int]], signals: Sequence[str]) -> Dict[str, int]:
+    """Pack per-pattern 0/1 assignments into parallel words.
+
+    >>> pack_patterns([{"a": 1}, {"a": 0}, {"a": 1}], ["a"])
+    {'a': 5}
+    """
+    words = {s: 0 for s in signals}
+    for i, pat in enumerate(patterns):
+        for s in signals:
+            if pat[s] & 1:
+                words[s] |= 1 << i
+    return words
+
+
+def unpack_word(word: int, n_patterns: int) -> List[int]:
+    """Split a parallel word back into per-pattern bits."""
+    return [(word >> i) & 1 for i in range(n_patterns)]
+
+
+class CombSimulator:
+    """Evaluator for the combinational core of a netlist.
+
+    The simulator is reusable: build once, call :meth:`run` per pattern
+    block.  DFF outputs are treated as pseudo-primary inputs (their values
+    must be supplied alongside the PIs), which is exactly the PPET view of
+    a circuit segment.
+    """
+
+    def __init__(self, netlist: Netlist, levelized: Optional[LevelizedCircuit] = None):
+        self.netlist = netlist
+        self.levelized = levelized or levelize(netlist)
+        self._pseudo_inputs = tuple(netlist.inputs) + tuple(
+            c.output for c in netlist.dff_cells()
+        )
+
+    @property
+    def pseudo_inputs(self) -> tuple:
+        """Signals the caller must drive: PIs + DFF outputs."""
+        return self._pseudo_inputs
+
+    def run(
+        self,
+        inputs: Mapping[str, int],
+        n_patterns: int,
+        faults: Optional[Mapping[str, tuple]] = None,
+    ) -> Dict[str, int]:
+        """Evaluate all combinational signals for a block of patterns.
+
+        Args:
+            inputs: parallel words for every pseudo-primary input.
+            n_patterns: number of valid pattern bits in each word.
+            faults: optional stuck-at overrides ``signal -> (and_mask,
+                or_mask)`` applied to the signal's *driven* value —
+                stuck-at-0 is ``(0, 0)``, stuck-at-1 is ``(mask, mask)``
+                with ``mask = 2^n_patterns − 1``.  (Fault simulation uses
+                this hook; see :mod:`repro.faults.fsim`.)
+
+        Returns:
+            signal → parallel word, for every signal in the circuit.
+        """
+        if n_patterns < 1:
+            raise SimulationError("n_patterns must be positive")
+        mask = (1 << n_patterns) - 1
+        values: Dict[str, int] = {}
+        for sig in self._pseudo_inputs:
+            try:
+                values[sig] = inputs[sig] & mask
+            except KeyError:
+                raise SimulationError(
+                    f"missing drive for pseudo-primary input {sig!r}"
+                ) from None
+        if faults:
+            for sig in self._pseudo_inputs:
+                if sig in faults:
+                    and_m, or_m = faults[sig]
+                    values[sig] = (values[sig] & and_m) | or_m
+        for cell in self.levelized.order:
+            ins = [values[s] for s in cell.inputs]
+            out = GATE_EVALUATORS[cell.gtype](ins, mask)
+            if faults and cell.output in faults:
+                and_m, or_m = faults[cell.output]
+                out = (out & and_m) | or_m
+            values[cell.output] = out & mask
+        return values
+
+    def outputs_word(self, values: Mapping[str, int]) -> List[int]:
+        """Primary-output words in declaration order."""
+        return [values[o] for o in self.netlist.outputs]

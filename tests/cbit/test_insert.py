@@ -1,0 +1,137 @@
+"""BIST hardware insertion: the compiler's emitted netlist."""
+
+import pytest
+
+from repro import Merced, MercedConfig
+from repro.circuits import load_circuit
+from repro.cbit.insert import (
+    SCAN_EN,
+    SCAN_IN,
+    TEST_MODE,
+    BISTCircuit,
+    insert_test_hardware,
+)
+from repro.netlist import ACELL_MUXED_AREA_UNITS, parse_bench, write_bench
+from repro.sim import SequentialSimulator, random_input_sequence
+
+
+@pytest.fixture(scope="module")
+def compiled():
+    s27 = load_circuit("s27")
+    report = Merced(MercedConfig(lk=3, seed=7)).run(s27)
+    return s27, report
+
+
+@pytest.fixture(scope="module")
+def bist(compiled):
+    s27, report = compiled
+    return insert_test_hardware(s27, report.partition, include_scan=True)
+
+
+def drive(seq, **extra):
+    return [dict(x, **extra) for x in seq]
+
+
+class TestStructure:
+    def test_every_cut_net_has_a_cell(self, compiled, bist):
+        _, report = compiled
+        assert set(bist.cut_cells) == set(report.partition.cut_nets())
+
+    def test_boundary_dffs_converted(self, compiled, bist):
+        s27, _ = compiled
+        # all three s27 DFFs feed cluster inputs, so all are converted
+        assert set(bist.converted_dffs) == {"G5", "G6", "G7"}
+
+    def test_mode_and_scan_pins(self, bist):
+        assert TEST_MODE in bist.netlist.inputs
+        assert SCAN_EN in bist.netlist.inputs
+        assert SCAN_IN in bist.netlist.inputs
+
+    def test_netlist_validates_and_serializes(self, bist):
+        bist.netlist.validate()
+        again = parse_bench(write_bench(bist.netlist))
+        assert again.stats().n_dffs == bist.netlist.stats().n_dffs
+
+    def test_added_area_positive_and_plausible(self, compiled, bist):
+        _, report = compiled
+        # at least one muxed A_CELL worth of hardware per cut net
+        assert bist.added_area_units >= ACELL_MUXED_AREA_UNITS * len(
+            bist.cut_cells
+        )
+
+    def test_chain_order_covers_all_registers(self, bist):
+        order = bist.chain_order
+        assert len(order) == len(set(order))
+        assert set(bist.cut_cells.values()) <= set(order)
+
+
+class TestNormalMode:
+    def test_bit_identical_to_original(self, compiled, bist):
+        s27, _ = compiled
+        seq = random_input_sequence(s27, 30, seed=11)
+        orig = SequentialSimulator(s27).run(seq)
+        got = SequentialSimulator(bist.netlist).run(
+            drive(seq, test_mode=0, scan_en=0, scan_in=0)
+        )
+        assert [t[: len(orig[0])] for t in got] == orig
+
+    def test_equivalence_from_any_test_register_state(self, compiled, bist):
+        """Normal mode must not depend on the test registers' power-up."""
+        s27, _ = compiled
+        seq = random_input_sequence(s27, 12, seed=3)
+        orig = SequentialSimulator(s27).run(seq)
+        sim = SequentialSimulator(bist.netlist)
+        state = {q: 1 for q in bist.cut_cells.values()}
+        got = sim.run(drive(seq, test_mode=0, scan_en=0, scan_in=0), state=state)
+        assert [t[: len(orig[0])] for t in got] == orig
+
+    def test_without_scan_variant(self, compiled):
+        s27, report = compiled
+        plain = insert_test_hardware(s27, report.partition, include_scan=False)
+        assert SCAN_EN not in plain.netlist.inputs
+        seq = random_input_sequence(s27, 10, seed=4)
+        orig = SequentialSimulator(s27).run(seq)
+        got = SequentialSimulator(plain.netlist).run(drive(seq, test_mode=1 - 1))
+        assert [t[: len(orig[0])] for t in got] == orig
+
+
+class TestTestMode:
+    def test_registers_generate_activity(self, compiled, bist):
+        s27, _ = compiled
+        sim = SequentialSimulator(bist.netlist)
+        seq = random_input_sequence(s27, 40, seed=9)
+        visited = {q: set() for q in bist.cut_cells.values()}
+        sim.reset()
+        for inputs in drive(seq, test_mode=1, scan_en=0, scan_in=0):
+            sim.step(inputs)
+            for q in visited:
+                visited[q].add(sim.state[q])
+        # every test register toggles (pattern generation is alive)
+        assert all(len(v) == 2 for v in visited.values())
+
+    def test_scan_chain_shifts(self, compiled, bist):
+        """With scan_en=1 the registers form one shift register."""
+        s27, _ = compiled
+        sim = SequentialSimulator(bist.netlist)
+        sim.reset()
+        chain_len = len(bist.chain_order)
+        pattern = [(i * 7 + 1) % 2 for i in range(chain_len)]
+        base = {pi: 0 for pi in s27.inputs}
+        for bit in pattern:
+            sim.step(dict(base, test_mode=1, scan_en=1, scan_in=bit))
+        got = [sim.state[q] for q in bist.chain_order]
+        # the shifted-in bits occupy the chain (order defined by wiring)
+        assert sorted(got) == sorted(pattern)
+
+    def test_include_primary_inputs_adds_cells(self, compiled):
+        s27, report = compiled
+        with_pi = insert_test_hardware(
+            s27, report.partition, include_primary_inputs=True
+        )
+        without = insert_test_hardware(s27, report.partition)
+        assert len(with_pi.cut_cells) > len(without.cut_cells)
+        # normal mode still identical
+        seq = random_input_sequence(s27, 10, seed=4)
+        orig = SequentialSimulator(s27).run(seq)
+        got = SequentialSimulator(with_pi.netlist).run(drive(seq, test_mode=0))
+        assert [t[: len(orig[0])] for t in got] == orig

@@ -1,0 +1,64 @@
+"""LFSR simulation: maximal length and the complete-cycle modification."""
+
+import pytest
+
+from repro.cbit import LFSR, primitive_polynomial
+from repro.errors import CBITError
+
+
+class TestCompleteLFSR:
+    @pytest.mark.parametrize("width", [2, 3, 4, 6, 8, 10])
+    def test_visits_all_states(self, width):
+        lfsr = LFSR(width, complete=True)
+        states = [lfsr.step() for _ in range(1 << width)]
+        assert sorted(states) == list(range(1 << width))
+
+    def test_period_is_2_to_n(self):
+        assert LFSR(5).period() == 32
+
+    def test_zero_state_is_transient_not_absorbing(self):
+        lfsr = LFSR(4, seed=0, complete=True)
+        assert lfsr.step() != 0
+
+
+class TestPlainLFSR:
+    @pytest.mark.parametrize("width", [3, 4, 7])
+    def test_maximal_length(self, width):
+        lfsr = LFSR(width, complete=False)
+        assert lfsr.period() == (1 << width) - 1
+
+    def test_zero_seed_rejected(self):
+        with pytest.raises(CBITError):
+            LFSR(4, seed=0, complete=False)
+
+    def test_never_reaches_zero(self):
+        lfsr = LFSR(4, complete=False)
+        states = set(lfsr.sequence())
+        assert 0 not in states
+        assert len(states) == 15
+
+
+class TestValidation:
+    def test_width_one_rejected(self):
+        with pytest.raises(CBITError):
+            LFSR(1)
+
+    def test_non_primitive_poly_rejected(self):
+        with pytest.raises(CBITError, match="not primitive"):
+            LFSR(4, poly=0b11111)
+
+    def test_degree_mismatch_rejected(self):
+        with pytest.raises(CBITError, match="degree"):
+            LFSR(4, poly=primitive_polynomial(5))
+
+    def test_sequence_length_default(self):
+        assert len(list(LFSR(4).sequence())) == 16
+        assert len(list(LFSR(4, complete=False).sequence())) == 15
+
+    def test_sequence_explicit_length(self):
+        assert len(list(LFSR(6).sequence(10))) == 10
+
+    def test_determinism(self):
+        a = list(LFSR(8, seed=5).sequence(100))
+        b = list(LFSR(8, seed=5).sequence(100))
+        assert a == b

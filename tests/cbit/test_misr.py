@@ -1,0 +1,127 @@
+"""MISR signature analysis and the dual-mode CBIT register."""
+
+import pytest
+
+from repro.cbit import (
+    CBITMode,
+    CBITRegister,
+    MISR,
+    aliasing_probability,
+)
+from repro.errors import CBITError
+
+
+class TestMISR:
+    def test_signature_depends_on_stream(self):
+        a = MISR(8, seed=0)
+        b = MISR(8, seed=0)
+        a.absorb_stream([1, 2, 3])
+        b.absorb_stream([1, 2, 4])
+        assert a.signature != b.signature
+
+    def test_signature_depends_on_order(self):
+        a = MISR(8, seed=0)
+        b = MISR(8, seed=0)
+        a.absorb_stream([1, 2])
+        b.absorb_stream([2, 1])
+        assert a.signature != b.signature
+
+    def test_zero_stream_from_zero_seed_stays_zero(self):
+        m = MISR(8, seed=0)
+        m.absorb_stream([0] * 50)
+        assert m.signature == 0
+
+    def test_reset(self):
+        m = MISR(6, seed=0)
+        m.absorb_stream([7, 9])
+        m.reset()
+        assert m.signature == 0
+
+    def test_width_validation(self):
+        with pytest.raises(CBITError):
+            MISR(1)
+
+    def test_linearity_over_gf2(self):
+        """MISR is linear: sig(a xor b) from seed 0 = sig(a) xor sig(b)."""
+        xs = [3, 5, 9, 12]
+        ys = [1, 15, 2, 8]
+        sa = MISR(6, seed=0).absorb_stream(xs)
+        sb = MISR(6, seed=0).absorb_stream(ys)
+        sxor = MISR(6, seed=0).absorb_stream([x ^ y for x, y in zip(xs, ys)])
+        assert sxor == sa ^ sb
+
+
+class TestAliasing:
+    def test_probability_formula(self):
+        assert aliasing_probability(16) == pytest.approx(2 ** -16)
+        with pytest.raises(CBITError):
+            aliasing_probability(0)
+
+    def test_measured_aliasing_rate_is_near_2_to_minus_n(self):
+        """Empirical aliasing over random error streams ≈ 2^-width."""
+        import random
+
+        rng = random.Random(42)
+        width, trials, length = 4, 3000, 24
+        golden_stream = [rng.randrange(16) for _ in range(length)]
+        golden = MISR(width, seed=0).absorb_stream(golden_stream)
+        aliased = 0
+        for _ in range(trials):
+            errs = [rng.randrange(16) for _ in range(length)]
+            if all(e == 0 for e in errs):
+                continue
+            faulty = [g ^ e for g, e in zip(golden_stream, errs)]
+            if MISR(width, seed=0).absorb_stream(faulty) == golden:
+                aliased += 1
+        rate = aliased / trials
+        assert rate == pytest.approx(1 / 16, abs=0.03)
+
+
+class TestCBITRegister:
+    def test_tpg_mode_exhaustive(self):
+        cbit = CBITRegister("c0", 4)
+        patterns = sorted(cbit.patterns())
+        assert patterns == list(range(16))
+
+    def test_mode_switch_preserves_state(self):
+        cbit = CBITRegister("c0", 4, seed=5)
+        cbit.clock()
+        state = cbit.state
+        cbit.set_mode(CBITMode.PSA)
+        assert cbit.state == state
+
+    def test_psa_mode_absorbs(self):
+        cbit = CBITRegister("c0", 4, seed=0)
+        cbit.load(0)
+        cbit.set_mode(CBITMode.PSA)
+        cbit.clock(0b1010)
+        assert cbit.state != 0
+
+    def test_clock_in_scan_mode_rejected(self):
+        cbit = CBITRegister("c0", 4)
+        cbit.set_mode(CBITMode.SCAN)
+        with pytest.raises(CBITError):
+            cbit.clock()
+
+    def test_patterns_requires_tpg(self):
+        cbit = CBITRegister("c0", 4)
+        cbit.set_mode(CBITMode.PSA)
+        with pytest.raises(CBITError):
+            cbit.patterns()
+
+    def test_scan_shift_round_trip(self):
+        cbit = CBITRegister("c0", 4, seed=0)
+        cbit.load(0b1011)
+        out_bits = []
+        for _ in range(4):
+            out_bits.append(cbit.scan_shift(0))
+        # MSB first: 1, 0, 1, 1
+        assert out_bits == [1, 0, 1, 1]
+        assert cbit.state == 0
+
+    def test_scan_shift_in(self):
+        cbit = CBITRegister("c0", 4, seed=0)
+        cbit.load(0)
+        for bit in (1, 0, 1, 1):
+            cbit.scan_shift(bit)
+        assert cbit.state == 0b1011

@@ -1,0 +1,124 @@
+"""Benchmark circuits: s27, profiles, generator, registry."""
+
+import pytest
+
+from repro.circuits import (
+    S27_BENCH,
+    TABLE9_PROFILES,
+    available_circuits,
+    generate_by_name,
+    generate_circuit,
+    load_circuit,
+    profile_by_name,
+    s27_netlist,
+)
+from repro.circuits.profiles import CircuitProfile
+from repro.errors import NetlistError
+from repro.graphs import SCCIndex, build_circuit_graph
+
+
+class TestS27:
+    def test_stats_match_iscas(self):
+        s = s27_netlist().stats()
+        assert (s.n_inputs, s.n_outputs, s.n_dffs) == (4, 1, 3)
+        assert s.n_gates + s.n_inverters == 10
+
+    def test_bench_text_matches_builder(self):
+        from repro.netlist import parse_bench
+
+        assert {str(c) for c in parse_bench(S27_BENCH).cells()} == {
+            str(c) for c in s27_netlist().cells()
+        }
+
+
+class TestProfiles:
+    def test_seventeen_profiles(self):
+        assert len(TABLE9_PROFILES) == 17
+
+    def test_table9_area_column(self):
+        assert profile_by_name("s5378").paper_area == 6241
+        assert profile_by_name("s38584.1").paper_area == 55147
+
+    def test_dffs_on_scc_within_dffs(self):
+        for p in TABLE9_PROFILES.values():
+            assert 0 <= p.dffs_on_scc <= p.n_dffs
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="s9999"):
+            profile_by_name("s9999")
+
+
+class TestGenerator:
+    @pytest.mark.parametrize("name", ["s510", "s420.1", "s641", "s820", "s1423"])
+    def test_profiles_matched_exactly(self, name):
+        p = profile_by_name(name)
+        nl = generate_by_name(name)
+        s = nl.stats()
+        assert s.n_inputs == p.n_inputs
+        assert s.n_dffs == p.n_dffs
+        assert s.n_gates == p.n_gates
+        assert s.n_inverters == p.n_inverters
+        assert s.area_units == p.paper_area
+
+    @pytest.mark.parametrize("name", ["s510", "s838.1", "s1423"])
+    def test_scc_register_target(self, name):
+        p = profile_by_name(name)
+        nl = generate_by_name(name)
+        g = build_circuit_graph(nl, with_po_nodes=False)
+        assert SCCIndex(g).registers_on_sccs() == p.dffs_on_scc
+
+    def test_deterministic_by_default(self):
+        a = generate_by_name("s510")
+        b = generate_by_name("s510")
+        assert {str(c) for c in a.cells()} == {str(c) for c in b.cells()}
+
+    def test_seed_changes_structure(self):
+        a = generate_by_name("s510", seed=1)
+        b = generate_by_name("s510", seed=2)
+        assert {str(c) for c in a.cells()} != {str(c) for c in b.cells()}
+        # but the statistics stay pinned
+        assert a.stats().area_units == b.stats().area_units == 547
+
+    def test_infeasible_profile_rejected(self):
+        bad = CircuitProfile(
+            name="impossible",
+            n_inputs=4,
+            n_dffs=8,
+            n_gates=4,  # fewer gates than SCC DFFs need feedback chains
+            n_inverters=0,
+            paper_area=200,
+            dffs_on_scc=8,
+        )
+        with pytest.raises(NetlistError):
+            generate_circuit(bad)
+
+    def test_area_below_structural_minimum_rejected(self):
+        bad = CircuitProfile(
+            name="toosmall",
+            n_inputs=4,
+            n_dffs=2,
+            n_gates=50,
+            n_inverters=0,
+            paper_area=50,  # 2 DFFs alone cost 20; 50 gates >= 100
+            dffs_on_scc=0,
+        )
+        with pytest.raises(NetlistError):
+            generate_circuit(bad)
+
+
+class TestRegistry:
+    def test_available_names(self):
+        names = available_circuits()
+        assert names[0] == "s27"
+        assert "s5378" in names
+
+    def test_load_returns_copy(self):
+        a = load_circuit("s27")
+        b = load_circuit("s27")
+        assert a is not b
+        a.add_input("tamper")
+        assert "tamper" not in b
+
+    def test_load_generated(self):
+        nl = load_circuit("s510")
+        assert nl.stats().area_units == 547

@@ -1,0 +1,74 @@
+"""Generator internals: staging, rings, area upgrades."""
+
+import pytest
+
+from repro.circuits.generator import _plan_rings, generate_circuit
+from repro.circuits.profiles import CircuitProfile
+from repro.errors import NetlistError
+from repro.graphs import SCCIndex, build_circuit_graph
+import random
+
+
+def profile(**over):
+    base = dict(
+        name="t",
+        n_inputs=5,
+        n_dffs=8,
+        n_gates=60,
+        n_inverters=5,
+        paper_area=2 * 60 + 5 + 80 + 20,
+        dffs_on_scc=4,
+        n_outputs=2,
+    )
+    base.update(over)
+    return CircuitProfile(**base)
+
+
+class TestPlanRings:
+    def test_covers_all_scc_dffs(self):
+        rng = random.Random(1)
+        rings = _plan_rings(rng, 10, gate_budget=40)
+        assert sum(size for size, _ in rings) == 10
+
+    def test_chain_lengths_within_budget(self):
+        rng = random.Random(2)
+        rings = _plan_rings(rng, 12, gate_budget=14)
+        total = sum(sum(chains) for _, chains in rings)
+        assert total <= 14
+
+    def test_every_edge_has_a_chain(self):
+        rng = random.Random(3)
+        for size, chains in _plan_rings(rng, 9, gate_budget=30):
+            assert len(chains) == size
+            assert all(c >= 1 for c in chains)
+
+    def test_zero_scc_dffs(self):
+        assert _plan_rings(random.Random(0), 0, gate_budget=5) == []
+
+
+class TestStages:
+    def test_explicit_stage_count(self):
+        nl = generate_circuit(profile(), seed=3, n_stages=4)
+        assert nl.stats().n_dffs == 8
+
+    def test_single_stage_requires_no_off_scc_dffs(self):
+        p = profile(n_dffs=4, dffs_on_scc=4)
+        nl = generate_circuit(p, seed=3, n_stages=1)
+        g = build_circuit_graph(nl, with_po_nodes=False)
+        assert SCCIndex(g).registers_on_sccs() == 4
+
+    def test_off_scc_dffs_force_two_stages(self):
+        p = profile(n_dffs=4, dffs_on_scc=0)
+        nl = generate_circuit(p, seed=3, n_stages=1)  # silently raised to 2
+        g = build_circuit_graph(nl, with_po_nodes=False)
+        assert SCCIndex(g).registers_on_sccs() == 0
+
+    def test_area_upgrades_exact_over_range(self):
+        for extra in (0, 7, 30):
+            p = profile(paper_area=2 * 60 + 5 + 80 + extra)
+            nl = generate_circuit(p, seed=9)
+            assert nl.stats().area_units == p.paper_area
+
+    def test_dffs_on_scc_above_dffs_rejected(self):
+        with pytest.raises(NetlistError):
+            generate_circuit(profile(dffs_on_scc=99), seed=1)

@@ -1,0 +1,78 @@
+"""Shared fixtures: reference circuits of increasing complexity."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuits import generate_by_name, s27_netlist
+from repro.config import MercedConfig
+from repro.graphs import SCCIndex, build_circuit_graph
+from repro.netlist import GateType, Netlist
+
+
+@pytest.fixture
+def s27():
+    """The exact ISCAS89 s27 benchmark."""
+    return s27_netlist()
+
+
+@pytest.fixture
+def s27_graph(s27):
+    return build_circuit_graph(s27, with_po_nodes=False)
+
+
+@pytest.fixture
+def s27_scc(s27_graph):
+    return SCCIndex(s27_graph)
+
+
+@pytest.fixture
+def pipeline():
+    """Feed-forward pipeline: a -> g1 -> q1 -> g2 -> q2 -> g3 -> out."""
+    nl = Netlist("pipeline")
+    nl.add_input("a")
+    nl.add_input("b")
+    nl.add_gate("g1", GateType.NAND, ["a", "b"])
+    nl.add_dff("q1", "g1")
+    nl.add_gate("g2", GateType.NOR, ["q1", "b"])
+    nl.add_dff("q2", "g2")
+    nl.add_gate("g3", GateType.NOT, ["q2"])
+    nl.add_output("g3")
+    nl.validate()
+    return nl
+
+
+@pytest.fixture
+def ring():
+    """Two DFFs on a feedback ring plus a feed-forward tail.
+
+    a,b -> g1 -> q1 -> g2 -> q2 -(back to g1)-> ... ; g2 also drives PO.
+    """
+    nl = Netlist("ring")
+    nl.add_input("a")
+    nl.add_input("b")
+    nl.add_gate("g1", GateType.NAND, ["a", "q2"])
+    nl.add_dff("q1", "g1")
+    nl.add_gate("g2", GateType.NOR, ["q1", "b"])
+    nl.add_dff("q2", "g2")
+    nl.add_gate("tail", GateType.NOT, ["g2"])
+    nl.add_output("tail")
+    nl.validate()
+    return nl
+
+
+@pytest.fixture
+def ring_graph(ring):
+    return build_circuit_graph(ring, with_po_nodes=False)
+
+
+@pytest.fixture(scope="session")
+def s510():
+    """Synthetic stand-in for s510 (smallest Table 9 profile)."""
+    return generate_by_name("s510")
+
+
+@pytest.fixture
+def fast_config():
+    """Small-circuit config with deterministic seed and quick saturation."""
+    return MercedConfig(lk=8, seed=42, min_visit=5)

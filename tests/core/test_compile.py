@@ -1,0 +1,71 @@
+"""One-call compile_circuit flow."""
+
+import pytest
+
+from repro import MercedConfig, load_circuit
+from repro.core import CompilationArtifacts, compile_circuit
+
+
+@pytest.fixture(scope="module")
+def arts():
+    return compile_circuit(
+        load_circuit("s27"), MercedConfig(lk=3, seed=7)
+    )
+
+
+class TestCompile:
+    def test_all_artifacts_present(self, arts):
+        assert arts.report is not None
+        assert arts.retiming is not None
+        assert arts.retimed is not None
+        assert arts.bist is not None
+
+    def test_retiming_covers_the_reported_retimable(self, arts):
+        covered = arts.retiming.covered_cuts | arts.retiming.dropped_cuts
+        assert covered >= set(arts.report.partition.cut_nets())
+
+    def test_retimed_netlist_is_legal(self, arts):
+        from repro.retiming import verify_retiming
+
+        verify_retiming(load_circuit("s27"), arts.retimed.netlist)
+
+    def test_bist_has_dual_mode_controls(self, arts):
+        assert any(
+            pi.startswith("psa_en_") for pi in arts.bist.netlist.inputs
+        )
+
+    def test_summary_mentions_everything(self, arts):
+        text = arts.summary()
+        assert "Merced report" in text
+        assert "retiming:" in text
+        assert "BIST netlist:" in text
+
+    def test_flags_disable_stages(self):
+        arts = compile_circuit(
+            load_circuit("s27"),
+            MercedConfig(lk=3, seed=7),
+            retime=False,
+            emit_bist=False,
+        )
+        assert arts.retiming is None and arts.bist is None
+        assert "retiming:" not in arts.summary()
+
+    def test_bist_kwargs_forwarded(self):
+        arts = compile_circuit(
+            load_circuit("s27"),
+            MercedConfig(lk=3, seed=7),
+            retime=False,
+            bist_kwargs={"include_scan": False},
+        )
+        assert "scan_en" not in arts.bist.netlist.inputs
+
+    def test_pin_io_covers_no_more_than_free(self, arts):
+        pinned = compile_circuit(
+            load_circuit("s27"),
+            MercedConfig(lk=3, seed=7),
+            pin_io=True,
+            emit_bist=False,
+        )
+        assert len(pinned.retiming.covered_cuts) <= len(
+            arts.retiming.covered_cuts
+        )

@@ -1,0 +1,118 @@
+"""Table rendering and the merced CLI."""
+
+import pytest
+
+from repro import Merced, MercedConfig
+from repro.core import (
+    format_table,
+    render_table10_11,
+    render_table12,
+    render_table9,
+)
+from repro.core.cli import build_parser, main
+from repro.circuits import load_circuit
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(["a", "bb"], [[1, 2.5], [30, 4.25]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "2.5" in lines[2]
+        assert all(len(l) == len(lines[0]) for l in lines[1:])
+
+    def test_float_formatting(self):
+        text = format_table(["x"], [[3.14159]])
+        assert "3.1" in text
+
+
+class TestRenderers:
+    def test_table9(self):
+        text = render_table9([load_circuit("s27").stats()])
+        assert "s27" in text and "51" in text
+
+    def test_table10(self):
+        report = Merced(MercedConfig(lk=3, seed=7)).run_named("s27")
+        text = render_table10_11([report.row], lk=3)
+        assert "l_k = 3" in text
+        assert "s27" in text
+
+    def test_table12(self):
+        r16 = Merced(MercedConfig(lk=3, seed=7)).run_named("s27")
+        r24 = Merced(MercedConfig(lk=6, seed=7)).run_named("s27")
+        text = render_table12([(r16.area, r24.area)])
+        assert "s27" in text
+        assert "w/ ret" in text
+
+
+class TestCLI:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["s27"])
+        assert args.lk == 16
+        assert args.beta == 50
+
+    def test_run_named_circuit(self, capsys):
+        assert main(["s27", "--lk", "3", "--seed", "7"]) == 0
+        out = capsys.readouterr().out
+        assert "Merced report for s27" in out
+
+    def test_selftest_flag(self, capsys):
+        assert main(["s27", "--lk", "3", "--seed", "7", "--selftest"]) == 0
+        out = capsys.readouterr().out
+        assert "PPET self-test" in out
+
+    def test_bench_file(self, tmp_path, capsys):
+        from repro.netlist import write_bench_file
+
+        path = write_bench_file(load_circuit("s27"), tmp_path / "c.bench")
+        assert main(["--bench", str(path), "--lk", "3"]) == 0
+        assert "Merced report" in capsys.readouterr().out
+
+    def test_missing_argument(self, capsys):
+        assert main([]) == 2
+
+    def test_infeasible_lk_reports_error(self, capsys):
+        assert main(["s27", "--lk", "1"]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_retime_flag(self, capsys):
+        assert main(["s27", "--lk", "3", "--seed", "7", "--retime"]) == 0
+        out = capsys.readouterr().out
+        assert "covered by" in out and "registers" in out
+
+    def test_bist_out_flag(self, tmp_path, capsys):
+        target = tmp_path / "out.bench"
+        assert main(
+            ["s27", "--lk", "3", "--seed", "7", "--bist-out", str(target)]
+        ) == 0
+        assert target.exists()
+        from repro.netlist import parse_bench_file
+
+        bist = parse_bench_file(target)
+        assert "test_mode" in bist.inputs
+
+    def test_list_flag(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "s27 (exact ISCAS89)" in out
+        assert "s38584.1" in out
+
+    def test_verilog_out_flag(self, tmp_path, capsys):
+        target = tmp_path / "out.v"
+        assert main(
+            ["s27", "--lk", "3", "--seed", "7", "--verilog-out", str(target)]
+        ) == 0
+        text = target.read_text()
+        assert "module s27" in text
+
+    def test_verilog_of_bist_netlist(self, tmp_path, capsys):
+        bench = tmp_path / "b.bench"
+        verilog = tmp_path / "b.v"
+        assert main(
+            [
+                "s27", "--lk", "3", "--seed", "7",
+                "--bist-out", str(bench),
+                "--verilog-out", str(verilog),
+            ]
+        ) == 0
+        assert "test_mode" in verilog.read_text()

@@ -1,0 +1,62 @@
+"""Parameter-sweep utilities."""
+
+import pytest
+
+from repro import MercedConfig
+from repro.circuits import load_circuit
+from repro.core.sweep import seed_stability, sweep_beta, sweep_lk
+
+
+@pytest.fixture(scope="module")
+def s27():
+    return load_circuit("s27")
+
+
+@pytest.fixture(scope="module")
+def cfg():
+    return MercedConfig(lk=3, seed=7, min_visit=5)
+
+
+class TestLkSweep:
+    def test_rows_per_lk(self, s27, cfg):
+        rows = sweep_lk(s27, [3, 5, 8], config=cfg)
+        assert [r.lk for r in rows] == [3, 5, 8]
+
+    def test_testing_time_exponential(self, s27, cfg):
+        rows = sweep_lk(s27, [3, 5], config=cfg)
+        assert rows[1].testing_time == 4 * rows[0].testing_time
+
+    def test_cuts_weakly_decrease(self, s27, cfg):
+        rows = sweep_lk(s27, [3, 8], config=cfg)
+        assert rows[1].n_cut_nets <= rows[0].n_cut_nets
+
+    def test_retiming_always_helps(self, s27, cfg):
+        for r in sweep_lk(s27, [3, 4, 6], config=cfg):
+            assert r.pct_with_retiming <= r.pct_without_retiming
+
+
+class TestBetaSweep:
+    def test_scc_cuts_monotone_in_beta(self):
+        s510 = load_circuit("s510")
+        cfg = MercedConfig(lk=16, seed=3, min_visit=5)
+        rows = sweep_beta(s510, [1, 50], config=cfg)
+        assert rows[0].n_cut_nets_on_scc <= rows[1].n_cut_nets_on_scc
+
+    def test_relaxed_beta_is_feasible(self):
+        s510 = load_circuit("s510")
+        cfg = MercedConfig(lk=16, seed=3, min_visit=5)
+        rows = sweep_beta(s510, [50], config=cfg)
+        assert rows[0].feasible
+        assert rows[0].max_input_count <= 16
+
+
+class TestSeedStability:
+    def test_spread_summary(self, s27, cfg):
+        st = seed_stability(s27, [1, 2, 3, 4], config=cfg)
+        assert len(st.cut_counts) == 4
+        assert st.cut_mean > 0
+        assert 0 <= st.cut_spread < 1.0
+
+    def test_identical_seeds_zero_spread(self, s27, cfg):
+        st = seed_stability(s27, [7, 7, 7], config=cfg)
+        assert st.cut_stdev == 0.0

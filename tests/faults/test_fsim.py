@@ -1,0 +1,83 @@
+"""Fault simulation: detection, coverage, diagnostic patterns."""
+
+import pytest
+
+from repro.faults import (
+    StuckAtFault,
+    detecting_patterns,
+    full_fault_list,
+    simulate_faults,
+)
+from repro.errors import SimulationError
+from repro.netlist import GateType, Netlist
+from repro.ppet import exhaustive_words
+
+
+@pytest.fixture
+def and2():
+    nl = Netlist("and2")
+    nl.add_input("a")
+    nl.add_input("b")
+    nl.add_gate("y", GateType.AND, ["a", "b"])
+    nl.add_output("y")
+    nl.validate()
+    return nl
+
+
+class TestDetection:
+    def test_exhaustive_patterns_detect_all_and2_faults(self, and2):
+        words, n = exhaustive_words(["a", "b"])
+        result = simulate_faults(and2, full_fault_list(and2), words, n)
+        assert result.coverage == 1.0
+        assert not result.undetected
+
+    def test_single_pattern_detects_some(self, and2):
+        # pattern a=1,b=1: detects y/sa0, a/sa0, b/sa0 but not sa1 faults
+        words = {"a": 1, "b": 1}
+        result = simulate_faults(and2, full_fault_list(and2), words, 1)
+        assert StuckAtFault("y", 0) in result.detected
+        assert StuckAtFault("y", 1) in result.undetected
+
+    def test_redundant_fault_undetected(self):
+        """y = OR(a, NOT(a)) is constant 1: y/sa1 is untestable."""
+        nl = Netlist("taut")
+        nl.add_input("a")
+        nl.add_gate("na", GateType.NOT, ["a"])
+        nl.add_gate("y", GateType.OR, ["a", "na"])
+        nl.add_output("y")
+        words, n = exhaustive_words(["a"])
+        result = simulate_faults(nl, [StuckAtFault("y", 1)], words, n)
+        assert result.coverage == 0.0
+
+    def test_observation_points_matter(self, s27):
+        words = {s: 0 for s in ("G0", "G1", "G2", "G3", "G5", "G6", "G7")}
+        faults = [StuckAtFault("G8", 1)]
+        # observing everything detects more than observing one PO
+        all_obs = simulate_faults(
+            s27, faults, words, 1, observe=[c.output for c in s27.cells()]
+        )
+        po_obs = simulate_faults(s27, faults, words, 1)
+        assert len(all_obs.detected) >= len(po_obs.detected)
+
+    def test_unknown_fault_signal_raises(self, and2):
+        words, n = exhaustive_words(["a", "b"])
+        with pytest.raises(SimulationError):
+            simulate_faults(and2, [StuckAtFault("ghost", 0)], words, n)
+
+    def test_no_observation_points_raises(self, and2):
+        words, n = exhaustive_words(["a", "b"])
+        with pytest.raises(SimulationError):
+            simulate_faults(and2, [], words, n, observe=[])
+
+
+class TestDetectingPatterns:
+    def test_and2_sa0_detected_only_by_11(self, and2):
+        words, n = exhaustive_words(["a", "b"])
+        pats = detecting_patterns(and2, StuckAtFault("y", 0), words, n)
+        # pattern index 3 = a=1, b=1
+        assert pats == [3]
+
+    def test_sa1_detected_by_three_patterns(self, and2):
+        words, n = exhaustive_words(["a", "b"])
+        pats = detecting_patterns(and2, StuckAtFault("y", 1), words, n)
+        assert pats == [0, 1, 2]

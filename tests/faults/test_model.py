@@ -1,0 +1,44 @@
+"""Stuck-at fault model."""
+
+import pytest
+
+from repro.faults import StuckAtFault, fault_masks, full_fault_list
+
+
+class TestFaultRecord:
+    def test_str(self):
+        assert str(StuckAtFault("G8", 0)) == "G8/sa0"
+
+    def test_invalid_value(self):
+        with pytest.raises(ValueError):
+            StuckAtFault("G8", 2)
+
+    def test_ordering_and_hash(self):
+        a, b = StuckAtFault("a", 0), StuckAtFault("a", 1)
+        assert a < b
+        assert len({a, b, StuckAtFault("a", 0)}) == 2
+
+
+class TestFaultList:
+    def test_s27_full_list(self, s27):
+        faults = full_fault_list(s27)
+        # (4 PIs + 13 cells) × 2
+        assert len(faults) == 34
+
+    def test_exclude_inputs(self, s27):
+        faults = full_fault_list(s27, include_inputs=False)
+        assert len(faults) == 26
+        assert not any(f.signal == "G0" for f in faults)
+
+    def test_both_polarities_present(self, s27):
+        faults = set(full_fault_list(s27))
+        assert StuckAtFault("G8", 0) in faults
+        assert StuckAtFault("G8", 1) in faults
+
+
+class TestMasks:
+    def test_sa0_mask(self):
+        assert fault_masks(StuckAtFault("x", 0), 4) == {"x": (0, 0)}
+
+    def test_sa1_mask(self):
+        assert fault_masks(StuckAtFault("x", 1), 4) == {"x": (15, 15)}

@@ -1,0 +1,74 @@
+"""Cross-validate our graph algorithms against networkx."""
+
+import networkx as nx
+import pytest
+
+from repro.circuits import generate_by_name, s27_netlist
+from repro.graphs import (
+    build_circuit_graph,
+    dijkstra_tree,
+    strongly_connected_components,
+)
+
+
+def to_networkx(graph):
+    g = nx.DiGraph()
+    g.add_nodes_from(graph.nodes())
+    for net in graph.nets():
+        for sink in net.sinks:
+            # parallel branches collapse; keep the min distance
+            if g.has_edge(net.source, sink):
+                g[net.source][sink]["weight"] = min(
+                    g[net.source][sink]["weight"], net.dist
+                )
+            else:
+                g.add_edge(net.source, sink, weight=net.dist)
+    return g
+
+
+@pytest.fixture(scope="module", params=["s27", "s510", "s641"])
+def pair(request):
+    if request.param == "s27":
+        nl = s27_netlist()
+    else:
+        nl = generate_by_name(request.param)
+    ours = build_circuit_graph(nl, with_po_nodes=False)
+    return ours, to_networkx(ours)
+
+
+class TestSCCCrossCheck:
+    def test_scc_partition_matches(self, pair):
+        ours, theirs = pair
+        mine = {frozenset(c) for c in strongly_connected_components(ours)}
+        ref = {frozenset(c) for c in nx.strongly_connected_components(theirs)}
+        assert mine == ref
+
+
+class TestDijkstraCrossCheck:
+    def test_distances_match_from_several_sources(self, pair):
+        ours, theirs = pair
+        sources = sorted(ours.nodes())[::7][:5]
+        for src in sources:
+            mine = dijkstra_tree(ours, src).dist
+            ref = nx.single_source_dijkstra_path_length(
+                theirs, src, weight="weight"
+            )
+            assert set(mine) == set(ref)
+            for node, d in ref.items():
+                assert mine[node] == pytest.approx(d)
+
+    def test_distances_match_with_nonuniform_weights(self, pair):
+        ours, theirs = pair
+        # perturb distances deterministically, rebuild the reference
+        for i, net in enumerate(ours.nets()):
+            net.dist = 1.0 + (i % 7) * 0.25
+        ref_graph = to_networkx(ours)
+        src = sorted(ours.nodes())[0]
+        mine = dijkstra_tree(ours, src).dist
+        ref = nx.single_source_dijkstra_path_length(
+            ref_graph, src, weight="weight"
+        )
+        assert set(mine) == set(ref)
+        for node, d in ref.items():
+            assert mine[node] == pytest.approx(d)
+        ours.reset_flow_state()

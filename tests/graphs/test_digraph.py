@@ -1,0 +1,98 @@
+"""CircuitGraph container: nodes, multi-pin nets, flow state."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs import CircuitGraph, NodeKind
+
+
+@pytest.fixture
+def g():
+    graph = CircuitGraph("g")
+    graph.add_node("pi", NodeKind.INPUT)
+    graph.add_node("c1", NodeKind.COMB)
+    graph.add_node("c2", NodeKind.COMB)
+    graph.add_node("r", NodeKind.REGISTER)
+    graph.add_net("pi", "pi", ["c1", "c2"])
+    graph.add_net("c1", "c1", ["r"])
+    graph.add_net("r", "r", ["c2"])
+    return graph
+
+
+class TestConstruction:
+    def test_duplicate_node(self, g):
+        with pytest.raises(GraphError):
+            g.add_node("pi", NodeKind.COMB)
+
+    def test_duplicate_net(self, g):
+        with pytest.raises(GraphError):
+            g.add_net("pi", "pi", ["c1"])
+
+    def test_unknown_endpoint(self, g):
+        with pytest.raises(GraphError):
+            g.add_net("bad", "ghost", ["c1"])
+        with pytest.raises(GraphError):
+            g.add_net("bad", "c2", ["ghost"])
+
+    def test_empty_sinks_rejected(self, g):
+        with pytest.raises(GraphError):
+            g.add_net("bad", "c2", [])
+
+
+class TestQueries:
+    def test_kinds(self, g):
+        assert g.kind("r") is NodeKind.REGISTER
+        assert g.kind("pi").is_register is False
+        with pytest.raises(GraphError):
+            g.kind("ghost")
+
+    def test_node_partitions(self, g):
+        assert g.register_nodes() == ["r"]
+        assert g.input_nodes() == ["pi"]
+        assert set(g.comb_nodes()) == {"c1", "c2"}
+
+    def test_counts(self, g):
+        assert g.n_nodes == 4
+        assert g.n_nets == 3
+
+    def test_successors_deduplicated(self, g):
+        g.add_node("c3", NodeKind.COMB)
+        g.add_net("c2", "c2", ["c3", "c3"])
+        assert g.successors("c2") == ["c3"]
+
+    def test_predecessors(self, g):
+        assert set(g.predecessors("c2")) == {"pi", "r"}
+
+    def test_in_out_nets(self, g):
+        assert [n.name for n in g.out_nets("pi")] == ["pi"]
+        assert {n.name for n in g.in_nets("c2")} == {"pi", "r"}
+
+    def test_out_net_objects_cached(self, g):
+        first = g.out_net_objects("pi")
+        assert first is g.out_net_objects("pi")
+        g.add_node("c4", NodeKind.COMB)
+        g.add_net("c4n", "c4", ["c1"])  # invalidates cache
+        assert g.out_net_objects("c4")[0].name == "c4n"
+
+
+class TestFlowState:
+    def test_reset(self, g):
+        net = g.net("pi")
+        net.flow = 3.0
+        net.dist = 9.0
+        net.removed = True
+        g.reset_flow_state(cap=2.0)
+        assert net.flow == 0.0
+        assert net.dist == 1.0
+        assert net.cap == 2.0
+        assert not net.removed
+
+    def test_cut_tracking(self, g):
+        g.net("c1").removed = True
+        assert [n.name for n in g.cut_nets()] == ["c1"]
+        assert [n.name for n in g.out_nets("c1", include_removed=False)] == []
+        g.restore_cuts()
+        assert g.cut_nets() == []
+
+    def test_fanout_property(self, g):
+        assert g.net("pi").fanout == 2

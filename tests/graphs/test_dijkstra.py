@@ -1,0 +1,87 @@
+"""Dijkstra shortest-path trees over net distances."""
+
+import pytest
+
+from repro.graphs import CircuitGraph, NodeKind, dijkstra_tree
+
+
+@pytest.fixture
+def diamond():
+    """pi -> (short: a) -> sink ; pi -> (long: b, c) -> sink."""
+    g = CircuitGraph("diamond")
+    for n in ["pi", "a", "b", "c", "sink"]:
+        g.add_node(n, NodeKind.COMB)
+    g.add_net("pa", "pi", ["a"])
+    g.add_net("pb", "pi", ["b"])
+    g.add_net("as", "a", ["sink"])
+    g.add_net("bc", "b", ["c"])
+    g.add_net("cs", "c", ["sink"])
+    return g
+
+
+class TestBasics:
+    def test_unit_distances(self, diamond):
+        tree = dijkstra_tree(diamond, "pi")
+        assert tree.dist["sink"] == 2.0
+        assert tree.dist["pi"] == 0.0
+        assert set(tree.reached()) == {"pi", "a", "b", "c", "sink"}
+
+    def test_weighted_path_switches(self, diamond):
+        diamond.net("pa").dist = 10.0
+        tree = dijkstra_tree(diamond, "pi")
+        assert tree.dist["sink"] == 3.0
+        assert tree.parent_net["sink"] == "cs"
+
+    def test_path_reconstruction(self, diamond):
+        tree = dijkstra_tree(diamond, "pi")
+        assert tree.path_to("sink") in (["pa", "as"], ["pb", "bc", "cs"])
+        assert tree.path_to("pi") == []
+
+    def test_path_to_unreached_raises(self, diamond):
+        tree = dijkstra_tree(diamond, "sink")
+        with pytest.raises(KeyError):
+            tree.path_to("pi")
+
+    def test_tree_nets_are_unique(self, diamond):
+        tree = dijkstra_tree(diamond, "pi")
+        nets = tree.tree_nets()
+        assert len(nets) == len(set(nets))
+
+    def test_multi_pin_net_charged_once(self):
+        g = CircuitGraph("fan")
+        for n in ["s", "x", "y"]:
+            g.add_node(n, NodeKind.COMB)
+        g.add_net("fan", "s", ["x", "y"])
+        tree = dijkstra_tree(g, "s")
+        assert tree.dist["x"] == tree.dist["y"] == 1.0
+        assert tree.tree_nets() == ["fan"]
+
+
+class TestRemovedNets:
+    def test_removed_net_not_traversed(self, diamond):
+        diamond.net("pa").removed = True
+        tree = dijkstra_tree(diamond, "pi")
+        assert "a" not in tree.dist
+        assert tree.dist["sink"] == 3.0
+
+    def test_use_removed_flag(self, diamond):
+        diamond.net("pa").removed = True
+        tree = dijkstra_tree(diamond, "pi", use_removed=True)
+        assert tree.dist["a"] == 1.0
+
+
+class TestOnCircuits:
+    def test_s27_reaches_feedback(self, s27_graph):
+        tree = dijkstra_tree(s27_graph, "G0")
+        # G0 -> G14 -> G10 -> G5 -> G11 ... the whole feedback core
+        assert "G11" in tree.dist
+        assert "G17" not in tree.dist or True  # G17 only via PO graph
+
+    def test_unreachable_from_sink_node(self, s27_graph):
+        tree = dijkstra_tree(s27_graph, "G17")
+        assert tree.reached() == ["G17"]
+
+    def test_determinism(self, s27_graph):
+        t1 = dijkstra_tree(s27_graph, "G0")
+        t2 = dijkstra_tree(s27_graph, "G0")
+        assert t1.parent_net == t2.parent_net

@@ -1,0 +1,103 @@
+"""Register-count path algebra (f(p)) and the Leiserson–Saxe edge view."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs import (
+    CircuitGraph,
+    NodeKind,
+    build_circuit_graph,
+    cycle_register_count,
+    nodes_of_net_path,
+    path_register_count,
+    register_weighted_edges,
+)
+
+
+class TestPathCounts:
+    def test_ring_cycle_count(self, ring_graph):
+        # g1 -> q1 -> g2 -> q2 -> g1: two registers on the cycle
+        cyc = ["g1", "q1", "g2", "q2"]
+        assert cycle_register_count(ring_graph, cyc) == 2
+
+    def test_cycle_count_independent_of_start(self, ring_graph):
+        a = cycle_register_count(ring_graph, ["g1", "q1", "g2", "q2"])
+        b = cycle_register_count(ring_graph, ["g2", "q2", "g1", "q1"])
+        assert a == b == 2
+
+    def test_open_path(self, ring_graph):
+        assert path_register_count(ring_graph, ["g1", "q1"], final_sink="g2") == 1
+
+    def test_path_not_closing_raises(self, ring_graph):
+        with pytest.raises(GraphError):
+            cycle_register_count(ring_graph, ["g1", "q1"])
+
+    def test_broken_chain_raises(self, ring_graph):
+        with pytest.raises(GraphError):
+            nodes_of_net_path(ring_graph, ["g1", "g2"])
+
+    def test_empty_path(self, ring_graph):
+        assert nodes_of_net_path(ring_graph, []) == []
+        with pytest.raises(GraphError):
+            cycle_register_count(ring_graph, [])
+
+    def test_bad_final_sink(self, ring_graph):
+        with pytest.raises(GraphError):
+            path_register_count(ring_graph, ["g1"], final_sink="g2")
+
+
+class TestWeightedEdges:
+    def test_pipeline_weights(self, pipeline):
+        g = build_circuit_graph(pipeline, with_po_nodes=True)
+        edges = {
+            (e.tail, e.head): e.weight for e in register_weighted_edges(g)
+        }
+        assert edges[("g1", "g2")] == 1
+        assert edges[("g2", "g3")] == 1
+        assert edges[("a", "g1")] == 0
+        assert edges[("g3", "__po__g3")] == 0
+
+    def test_ring_weights(self, ring_graph):
+        edges = {
+            (e.tail, e.head): e.weight
+            for e in register_weighted_edges(ring_graph)
+        }
+        assert edges[("g1", "g2")] == 1
+        assert edges[("g2", "g1")] == 1
+        assert edges[("g2", "tail")] == 0
+
+    def test_cycle_weight_sum_matches_f(self, ring_graph):
+        edges = {
+            (e.tail, e.head): e for e in register_weighted_edges(ring_graph)
+        }
+        total = edges[("g1", "g2")].weight + edges[("g2", "g1")].weight
+        assert total == cycle_register_count(
+            ring_graph, ["g1", "q1", "g2", "q2"]
+        )
+
+    def test_via_nets_recorded(self, pipeline):
+        g = build_circuit_graph(pipeline, with_po_nodes=False)
+        edge = next(
+            e
+            for e in register_weighted_edges(g)
+            if (e.tail, e.head) == ("g1", "g2")
+        )
+        assert edge.via_nets == ("g1", "q1")
+
+    def test_pure_register_cycle_raises(self):
+        g = CircuitGraph("regloop")
+        g.add_node("r1", NodeKind.REGISTER)
+        g.add_node("r2", NodeKind.REGISTER)
+        g.add_node("c", NodeKind.COMB)
+        g.add_net("r1", "r1", ["r2"])
+        g.add_net("r2", "r2", ["r1"])
+        g.add_net("c", "c", ["r1"])
+        with pytest.raises(GraphError, match="register cycle"):
+            register_weighted_edges(g)
+
+    def test_s27_edge_count(self, s27):
+        g = build_circuit_graph(s27, with_po_nodes=True)
+        edges = register_weighted_edges(g)
+        # every comb-cell pin plus the PO pin resolves to exactly one edge
+        n_pins = sum(c.fanin for c in s27.comb_cells()) + len(s27.outputs)
+        assert len(edges) == n_pins

@@ -1,0 +1,108 @@
+"""Integration tests pinning the paper's qualitative claims.
+
+These exercise the full pipeline (netlist → graph → saturation →
+clustering → merging → cost accounting → self-test) and assert the
+*shape* results the paper reports — who wins and in which direction —
+without demanding 1996-run-identical numbers.
+"""
+
+import pytest
+
+from repro import Merced, MercedConfig
+from repro.circuits import load_circuit
+from repro.ppet import PPETSession
+
+
+class TestS27WorkedExample:
+    """Figures 2/5/6/7: the s27 walkthrough at l_k = 3."""
+
+    def test_four_partitions_like_figure7(self):
+        """The paper finds 4 partitions on s27 with l_k = 3."""
+        # the flow process is randomized; the paper's own run found 4.
+        results = {
+            seed: Merced(MercedConfig(lk=3, seed=seed)).run_named("s27")
+            for seed in (7, 11, 23)
+        }
+        assert any(r.n_partitions == 4 for r in results.values())
+        for r in results.values():
+            assert 3 <= r.n_partitions <= 6
+            assert r.partition.max_input_count() <= 3
+
+    def test_every_node_partitioned(self):
+        report = Merced(MercedConfig(lk=3, seed=7)).run_named("s27")
+        assert len(report.partition.covered_nodes()) == 13  # R ∪ C of s27
+
+
+class TestRetimingAdvantage:
+    """Table 12 / Figure 8: retiming reduces CBIT area, more on big circuits."""
+
+    @pytest.fixture(scope="class")
+    def reports(self):
+        cfg = MercedConfig(lk=16, seed=3, min_visit=5)
+        out = {}
+        for name in ("s510", "s641", "s1423"):
+            out[name] = Merced(cfg).run_named(name)
+        return out
+
+    def test_retiming_always_wins(self, reports):
+        for r in reports.values():
+            assert r.area.pct_with_retiming < r.area.pct_without_retiming
+
+    def test_saving_magnitude_plausible(self, reports):
+        """Paper: 2%-32% points saved; DFF-poor s510 saves least (as in
+        Table 12, where s510 improves only 80.6 → 78.8)."""
+        for r in reports.values():
+            assert r.area.saving_points > 0.25
+        # DFF-rich circuits benefit substantially
+        assert reports["s1423"].area.relative_area_reduction > 10.0
+        assert reports["s641"].area.relative_area_reduction > 10.0
+        # and more than the DFF-poor s510 (6 DFFs vs ~100 cuts)
+        assert (
+            reports["s1423"].area.relative_area_reduction
+            > reports["s510"].area.relative_area_reduction
+        )
+
+    def test_most_scc_cuts_covered_by_dffs(self, reports):
+        """Tables 10/11 narrative: retiming exploits DFFs on SCCs."""
+        for r in reports.values():
+            assert r.area.n_retimable > 0
+
+
+class TestLkTradeoff:
+    """Tables 10 vs 11: a larger l_k accommodates more nets, fewer cuts."""
+
+    def test_lk24_cuts_fewer_than_lk16(self):
+        cuts = {}
+        for lk in (16, 24):
+            cfg = MercedConfig(lk=lk, seed=3, min_visit=5)
+            cuts[lk] = Merced(cfg).run_named("s1423").area.n_cut_nets
+        assert cuts[24] <= cuts[16]
+
+    def test_testing_time_grows_exponentially(self):
+        """Figure 4: the price of bigger CBITs is 2^l_k testing time."""
+        from repro.cbit import testing_time_cycles
+
+        assert testing_time_cycles(24) / testing_time_cycles(16) == 256
+
+
+class TestSelfTestQuality:
+    """Section 1's claim: PPET achieves high stuck-at coverage."""
+
+    def test_s27_full_coverage_and_timing(self):
+        report = Merced(MercedConfig(lk=3, seed=7)).run_named("s27")
+        session = PPETSession(
+            load_circuit("s27"), report.partition, report.plan
+        )
+        out = session.run()
+        assert out.coverage.coverage == 1.0
+        # pipelined testing time: pipes of 2^3 cycles, far below 2^7
+        assert out.schedule.test_cycles < (1 << 7)
+
+    def test_coverage_high_on_generated_circuit(self):
+        cfg = MercedConfig(lk=10, seed=3, min_visit=5)
+        report = Merced(cfg).run_named("s510")
+        session = PPETSession(
+            load_circuit("s510"), report.partition, report.plan, max_sim_inputs=10
+        )
+        out = session.run()
+        assert out.coverage.coverage > 0.93

@@ -1,0 +1,53 @@
+"""Scaling-shape checks on a mid-size circuit (Tables 10–12 narratives).
+
+The full 17-circuit sweep lives in the benchmark harness (and, for the
+four-digit circuits, behind ``REPRO_FULL_TABLES=1``); this test pins the
+key shapes on one mid-size instance cheaply enough for every CI run.
+"""
+
+import pytest
+
+from repro import Merced, MercedConfig
+
+
+@pytest.fixture(scope="module")
+def s5378_reports():
+    out = {}
+    for lk in (16, 24):
+        cfg = MercedConfig(lk=lk, seed=1996, max_sources=800, min_visit=5)
+        out[lk] = Merced(cfg).run_named("s5378")
+    return out
+
+
+def test_most_cuts_on_sccs(s5378_reports):
+    """Tables 10/11: the SCC share of cut nets dominates."""
+    for r in s5378_reports.values():
+        assert r.area.n_cut_nets_on_scc > 0.5 * r.area.n_cut_nets
+
+
+def test_lk24_cuts_no_more_than_lk16(s5378_reports):
+    assert (
+        s5378_reports[24].area.n_cut_nets
+        <= s5378_reports[16].area.n_cut_nets
+    )
+
+
+def test_retiming_saves_multiple_points_at_scale(s5378_reports):
+    """Table 12: mid/large circuits save several A_CBIT/A_Total points."""
+    for r in s5378_reports.values():
+        assert r.area.saving_points > 3.0
+
+
+def test_dffs_on_scc_match_profile(s5378_reports):
+    from repro.circuits import profile_by_name
+
+    p = profile_by_name("s5378")
+    for r in s5378_reports.values():
+        assert r.row.n_dffs_on_scc == p.dffs_on_scc
+
+
+def test_retimable_exceeds_off_scc_share(s5378_reports):
+    """Retiming exploits the SCC DFFs, not just the acyclic cuts."""
+    for r in s5378_reports.values():
+        off_scc = r.area.n_cut_nets - r.area.n_cut_nets_on_scc
+        assert r.area.n_retimable > off_scc

@@ -1,0 +1,65 @@
+"""Area constants and breakdowns (Figure 3 / Table 9 counting rules)."""
+
+import pytest
+
+from repro.netlist import (
+    ACELL_AREA_UNITS,
+    ACELL_FACTOR,
+    ACELL_MUXED_AREA_UNITS,
+    ACELL_MUXED_FACTOR,
+    ACELL_RETIMED_EXTRA_UNITS,
+    ACELL_RETIMED_FACTOR,
+    GateType,
+    Netlist,
+    area_breakdown,
+    area_in_dff,
+    circuit_area_units,
+)
+
+
+class TestACellConstants:
+    """The paper's Figure 3 factors: 1.9 / 0.9 / 2.3 × DFF."""
+
+    def test_fresh_acell_is_19_units(self):
+        assert ACELL_AREA_UNITS == 19
+        assert ACELL_FACTOR == pytest.approx(1.9)
+
+    def test_retimed_acell_adds_9_units(self):
+        assert ACELL_RETIMED_EXTRA_UNITS == 9
+        assert ACELL_RETIMED_FACTOR == pytest.approx(0.9)
+
+    def test_muxed_acell_is_quoted_23_units(self):
+        assert ACELL_MUXED_AREA_UNITS == 23
+        assert ACELL_MUXED_FACTOR == pytest.approx(2.3)
+
+    def test_ordering(self):
+        assert (
+            ACELL_RETIMED_EXTRA_UNITS
+            < ACELL_AREA_UNITS
+            < ACELL_MUXED_AREA_UNITS
+        )
+
+
+class TestCircuitArea:
+    def test_s27_area(self, s27):
+        assert circuit_area_units(s27) == 51
+
+    def test_area_in_dff(self):
+        assert area_in_dff(51) == pytest.approx(5.1)
+
+    def test_breakdown_sums_to_total(self, s27):
+        b = area_breakdown(s27)
+        assert b.total_units == 51
+        assert b.dff_units == 30
+        assert b.inverter_units == 2
+        assert b.gate_units == 19
+        assert b.combinational_units == 21
+
+    def test_breakdown_empty_comb(self):
+        nl = Netlist("regs")
+        nl.add_input("a")
+        nl.add_dff("q", "a")
+        nl.add_output("q")
+        b = area_breakdown(nl)
+        assert b.total_units == b.dff_units == 10
+        assert b.combinational_units == 0

@@ -1,0 +1,95 @@
+"""ISCAS89 .bench parser/writer: formats, errors, round trips."""
+
+import pytest
+
+from repro.circuits import S27_BENCH, s27_netlist
+from repro.errors import BenchParseError
+from repro.netlist import GateType, parse_bench, parse_bench_file, write_bench, write_bench_file
+
+
+class TestParsing:
+    def test_parse_s27_text(self):
+        nl = parse_bench(S27_BENCH, name="s27")
+        s = nl.stats()
+        assert (s.n_inputs, s.n_dffs, s.n_gates, s.n_inverters) == (4, 3, 8, 2)
+
+    def test_parse_matches_builder(self):
+        parsed = parse_bench(S27_BENCH, name="s27")
+        built = s27_netlist()
+        assert {str(c) for c in parsed.cells()} == {str(c) for c in built.cells()}
+        assert parsed.inputs == built.inputs
+        assert parsed.outputs == built.outputs
+
+    def test_comments_and_blank_lines_ignored(self):
+        nl = parse_bench(
+            """
+            # a comment
+            INPUT(x)   # trailing comment
+
+            OUTPUT(y)
+            y = NOT(x)
+            """
+        )
+        assert nl.stats().n_inverters == 1
+
+    def test_case_insensitive_keywords(self):
+        nl = parse_bench("input(x)\noutput(y)\ny = not(x)\n")
+        assert list(nl.inputs) == ["x"]
+
+    def test_buff_alias(self):
+        nl = parse_bench("INPUT(x)\nOUTPUT(y)\ny = BUFF(x)\n")
+        assert nl.cell("y").gtype is GateType.BUF
+
+    def test_whitespace_flexibility(self):
+        nl = parse_bench("INPUT( x )\nOUTPUT(y)\ny=NAND( x , x )\n")
+        assert nl.cell("y").fanin == 2
+
+
+class TestParseErrors:
+    def test_garbage_line_reports_position(self):
+        with pytest.raises(BenchParseError) as err:
+            parse_bench("INPUT(x)\nOUTPUT(y)\nthis is not bench\ny = NOT(x)")
+        assert err.value.line_no == 3
+
+    def test_dff_with_two_inputs_rejected(self):
+        with pytest.raises(BenchParseError, match="DFF"):
+            parse_bench("INPUT(x)\nOUTPUT(q)\nq = DFF(x, x)\n")
+
+    def test_unknown_gate_rejected(self):
+        with pytest.raises(BenchParseError, match="LATCH"):
+            parse_bench("INPUT(x)\nOUTPUT(y)\ny = LATCH(x)\n")
+
+    def test_duplicate_driver_rejected(self):
+        with pytest.raises(BenchParseError):
+            parse_bench("INPUT(x)\nOUTPUT(y)\ny = NOT(x)\ny = BUFF(x)\n")
+
+    def test_dangling_reference_rejected(self):
+        with pytest.raises(BenchParseError, match="invalid circuit"):
+            parse_bench("INPUT(x)\nOUTPUT(y)\ny = NOT(ghost)\n")
+
+    def test_combinational_loop_rejected(self):
+        with pytest.raises(BenchParseError, match="invalid circuit"):
+            parse_bench(
+                "INPUT(a)\nOUTPUT(x)\nx = NAND(a, y)\ny = NAND(a, x)\n"
+            )
+
+
+class TestRoundTrip:
+    def test_s27_round_trip(self, s27):
+        text = write_bench(s27)
+        again = parse_bench(text, name="s27")
+        assert {str(c) for c in again.cells()} == {str(c) for c in s27.cells()}
+        assert again.inputs == s27.inputs
+        assert again.outputs == s27.outputs
+
+    def test_generated_circuit_round_trip(self, s510):
+        text = write_bench(s510)
+        again = parse_bench(text, name="s510")
+        assert again.stats().area_units == s510.stats().area_units
+        assert again.stats().n_dffs == s510.stats().n_dffs
+
+    def test_file_io(self, s27, tmp_path):
+        path = write_bench_file(s27, tmp_path / "s27.bench")
+        again = parse_bench_file(path)
+        assert again.name == "s27"
+        assert again.stats().n_dffs == 3

@@ -1,0 +1,55 @@
+"""Cell record invariants."""
+
+import pytest
+
+from repro.errors import NetlistError
+from repro.netlist import Cell, GateType
+
+
+def test_cell_is_frozen():
+    cell = Cell("g", GateType.NAND, ("a", "b"))
+    with pytest.raises(Exception):
+        cell.output = "h"
+
+
+def test_inputs_normalized_to_tuple():
+    cell = Cell("g", GateType.NAND, ["a", "b"])
+    assert cell.inputs == ("a", "b")
+
+
+def test_empty_name_rejected():
+    with pytest.raises(ValueError):
+        Cell("", GateType.NOT, ("a",))
+
+
+def test_fanin_checked_at_construction():
+    with pytest.raises(NetlistError):
+        Cell("g", GateType.NOT, ("a", "b"))
+    with pytest.raises(NetlistError):
+        Cell("g", GateType.AND, ("a",))
+
+
+def test_is_dff():
+    assert Cell("q", GateType.DFF, ("d",)).is_dff
+    assert not Cell("g", GateType.NOT, ("d",)).is_dff
+
+
+def test_area_units():
+    assert Cell("g", GateType.NAND, ("a", "b", "c")).area_units == 3
+    assert Cell("q", GateType.DFF, ("d",)).area_units == 10
+
+
+def test_with_inputs_creates_copy():
+    cell = Cell("g", GateType.NAND, ("a", "b"))
+    new = cell.with_inputs(("x", "y"))
+    assert new.inputs == ("x", "y")
+    assert cell.inputs == ("a", "b")
+    assert new.output == "g"
+    assert new.gtype is GateType.NAND
+
+
+def test_equality_and_hash():
+    a = Cell("g", GateType.NAND, ("a", "b"))
+    b = Cell("g", GateType.NAND, ("a", "b"))
+    assert a == b
+    assert hash(a) == hash(b)

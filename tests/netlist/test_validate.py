@@ -1,0 +1,65 @@
+"""Netlist linting (non-fatal structure checks)."""
+
+import pytest
+
+from repro.netlist import GateType, Netlist, lint_netlist
+
+
+def test_clean_circuit(s27):
+    report = lint_netlist(s27)
+    assert report.clean
+    assert report.summary() == "clean"
+
+
+def test_dangling_cell_detected():
+    nl = Netlist("dangle")
+    nl.add_input("a")
+    nl.add_gate("used", GateType.NOT, ["a"])
+    nl.add_gate("dead", GateType.NOT, ["a"])
+    nl.add_output("used")
+    report = lint_netlist(nl)
+    assert report.dangling_cells == ["dead"]
+    assert not report.clean
+    assert "1 dangling cells" in report.summary()
+
+
+def test_unread_input_detected():
+    nl = Netlist("unread")
+    nl.add_input("a")
+    nl.add_input("unused")
+    nl.add_gate("g", GateType.NOT, ["a"])
+    nl.add_output("g")
+    assert lint_netlist(nl).unread_inputs == ["unused"]
+
+
+def test_input_that_is_output_not_unread():
+    nl = Netlist("feedthrough")
+    nl.add_input("a")
+    nl.add_input("b")
+    nl.add_gate("g", GateType.NOT, ["a"])
+    nl.add_output("g")
+    nl.add_output("b")
+    assert lint_netlist(nl).unread_inputs == []
+
+
+def test_self_loop_dff_detected():
+    nl = Netlist("selfdff")
+    nl.add_input("a")
+    nl.add_dff("q", "q")
+    nl.add_gate("g", GateType.NAND, ["a", "q"])
+    nl.add_output("g")
+    assert lint_netlist(nl).self_loop_dffs == ["q"]
+
+
+def test_constant_candidate_detected():
+    nl = Netlist("const")
+    nl.add_input("a")
+    nl.add_gate("x", GateType.XOR, ["a", "a"])  # structurally 0
+    nl.add_output("x")
+    assert lint_netlist(nl).constant_candidates == ["x"]
+
+
+def test_generated_circuits_have_no_dangling_cells(s510):
+    report = lint_netlist(s510)
+    assert report.dangling_cells == []
+    assert report.unread_inputs == []

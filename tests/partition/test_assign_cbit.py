@@ -1,0 +1,115 @@
+"""Assign_CBIT greedy merging (Table 8) and the gain function (Eq. 7)."""
+
+import pytest
+
+from repro.config import MercedConfig
+from repro.graphs import SCCIndex, build_circuit_graph
+from repro.partition import (
+    Cluster,
+    Partition,
+    assign_cbit,
+    make_group,
+    merge_gain,
+    merged_input_nets,
+)
+
+
+@pytest.fixture
+def s27_grouped(s27_graph, s27_scc):
+    return make_group(s27_graph, s27_scc, MercedConfig(lk=3, seed=7))
+
+
+class TestMergeGain:
+    def test_gain_formula(self, s27_graph):
+        a = Cluster.from_nodes(0, s27_graph, {"G15"})
+        b = Cluster.from_nodes(1, s27_graph, {"G16"})
+        mg = merge_gain(s27_graph, lk=5, a=a, b=b)
+        # merged inputs {G12, G8, G3} -> γ = 5 − 3
+        assert mg.gain == 2
+        assert mg.feasible
+
+    def test_infeasible_merge(self, s27_graph):
+        a = Cluster.from_nodes(0, s27_graph, {"G15"})
+        b = Cluster.from_nodes(1, s27_graph, {"G16"})
+        mg = merge_gain(s27_graph, lk=2, a=a, b=b)
+        assert mg.gain < 0
+        assert not mg.feasible
+
+    def test_cut_removal_counted(self, s27_graph):
+        # G14 feeds G8: merging internalizes the cut net G14
+        a = Cluster.from_nodes(0, s27_graph, {"G14"})
+        b = Cluster.from_nodes(1, s27_graph, {"G8"})
+        mg = merge_gain(s27_graph, lk=8, a=a, b=b)
+        assert mg.cuts_removed == 1
+
+    def test_merged_inputs_exact(self, s27_graph):
+        from repro.partition import cluster_input_nets
+
+        a = Cluster.from_nodes(0, s27_graph, {"G14"})
+        b = Cluster.from_nodes(1, s27_graph, {"G8", "G15"})
+        assert merged_input_nets(s27_graph, a, b) == frozenset(
+            cluster_input_nets(s27_graph, {"G14", "G8", "G15"})
+        )
+
+    def test_better_than_ordering(self, s27_graph):
+        a = Cluster.from_nodes(0, s27_graph, {"G15"})
+        b = Cluster.from_nodes(1, s27_graph, {"G16"})
+        mg = merge_gain(s27_graph, lk=5, a=a, b=b)
+        assert mg.better_than(None)
+
+
+class TestAssignCBIT:
+    def test_respects_lk(self, s27_grouped):
+        res = assign_cbit(s27_grouped.partition)
+        assert res.partition.max_input_count() <= 3
+        res.partition.validate()
+
+    def test_merging_reduces_cluster_count(self, s27_grouped):
+        before = s27_grouped.partition.m
+        res = assign_cbit(s27_grouped.partition)
+        assert res.n_partitions <= before
+        assert res.n_merges == before - res.n_partitions
+
+    def test_merging_never_increases_cuts(self, s27_grouped):
+        before = len(s27_grouped.partition.cut_nets())
+        res = assign_cbit(s27_grouped.partition)
+        assert len(res.partition.cut_nets()) <= before
+
+    def test_cost_positive_and_consistent(self, s27_grouped):
+        from repro.cbit import cbit_cost_for_inputs
+
+        res = assign_cbit(s27_grouped.partition)
+        expected = sum(
+            cbit_cost_for_inputs(c.input_count)[0]
+            for c in res.partition.clusters
+        )
+        assert res.cost_dff == pytest.approx(expected)
+        assert res.cost_dff > 0
+
+    def test_single_cluster_passthrough(self, s27_graph, s27_scc):
+        res = make_group(s27_graph, s27_scc, MercedConfig(lk=30, seed=7))
+        merged = assign_cbit(res.partition)
+        assert merged.n_partitions == 1
+        merged.partition.validate()
+
+    def test_cluster_ids_renumbered(self, s27_grouped):
+        res = assign_cbit(s27_grouped.partition)
+        assert [c.cluster_id for c in res.partition.clusters] == list(
+            range(res.n_partitions)
+        )
+
+    def test_merge_quality_on_s510(self, s510):
+        """Merged partitions should pack much closer to l_k."""
+        g = build_circuit_graph(s510, with_po_nodes=False)
+        cfg = MercedConfig(lk=16, seed=3, min_visit=5)
+        group = make_group(g, SCCIndex(g), cfg)
+        res = assign_cbit(group.partition)
+        res.partition.validate()
+        mean_before = sum(
+            c.input_count for c in group.partition.clusters
+        ) / group.partition.m
+        mean_after = sum(
+            c.input_count for c in res.partition.clusters
+        ) / res.n_partitions
+        assert mean_after > mean_before
+        assert res.partition.max_input_count() <= 16

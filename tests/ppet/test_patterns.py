@@ -1,0 +1,75 @@
+"""Pseudo-exhaustive pattern spaces."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.ppet import exhaustive_words, is_exhaustive, lfsr_order_words
+
+
+class TestCountingOrder:
+    def test_two_signals(self):
+        words, n = exhaustive_words(["a", "b"])
+        assert n == 4
+        assert words["a"] == 0b1010
+        assert words["b"] == 0b1100
+
+    @pytest.mark.parametrize("k", [1, 2, 3, 5, 8])
+    def test_exhaustive_property(self, k):
+        sigs = [f"s{i}" for i in range(k)]
+        words, n = exhaustive_words(sigs)
+        assert is_exhaustive(words, sigs, n)
+
+    def test_signal_i_has_period_2_i_plus_1(self):
+        sigs = ["x", "y", "z"]
+        words, n = exhaustive_words(sigs)
+        for i, s in enumerate(sigs):
+            period = 1 << (i + 1)
+            w = words[s]
+            for t in range(n - period):
+                assert (w >> t) & 1 == (w >> (t + period)) & 1
+
+    def test_cap_enforced(self):
+        with pytest.raises(SimulationError):
+            exhaustive_words([f"s{i}" for i in range(30)])
+
+    def test_empty_signal_list(self):
+        words, n = exhaustive_words([])
+        assert n == 1 and words == {}
+
+
+class TestLFSROrder:
+    @pytest.mark.parametrize("k", [2, 3, 4, 6, 10])
+    def test_exhaustive_property(self, k):
+        sigs = [f"s{i}" for i in range(k)]
+        words, n = lfsr_order_words(sigs)
+        assert n == 1 << k
+        assert is_exhaustive(words, sigs, n)
+
+    def test_degenerate_width_falls_back(self):
+        words, n = lfsr_order_words(["only"])
+        assert n == 2
+        assert is_exhaustive(words, ["only"], n)
+
+    def test_order_differs_from_counting(self):
+        sigs = ["a", "b", "c"]
+        cw, _ = exhaustive_words(sigs)
+        lw, _ = lfsr_order_words(sigs)
+        assert cw != lw
+
+    def test_deterministic(self):
+        sigs = ["a", "b", "c", "d"]
+        assert lfsr_order_words(sigs) == lfsr_order_words(sigs)
+
+    def test_cap_enforced(self):
+        with pytest.raises(SimulationError):
+            lfsr_order_words([f"s{i}" for i in range(30)])
+
+
+class TestIsExhaustive:
+    def test_detects_duplicates(self):
+        words = {"a": 0b0000, "b": 0b1100}
+        assert not is_exhaustive(words, ["a", "b"], 4)
+
+    def test_detects_wrong_count(self):
+        words, n = exhaustive_words(["a"])
+        assert not is_exhaustive(words, ["a"], n + 1)

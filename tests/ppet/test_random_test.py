@@ -1,0 +1,104 @@
+"""Random-test efficiency analysis (ref [12] substrate)."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.faults import StuckAtFault, full_fault_list
+from repro.netlist import GateType, Netlist
+from repro.ppet.random_test import (
+    detectability_profile,
+    expected_random_test_length,
+    fault_detectability,
+    random_coverage_curve,
+)
+
+
+@pytest.fixture
+def and8():
+    """y = AND(a..h): y/sa0 has detectability 1/256 — a classic hard fault."""
+    nl = Netlist("and8")
+    pis = [f"i{k}" for k in range(8)]
+    for pi in pis:
+        nl.add_input(pi)
+    nl.add_gate("y", GateType.AND, pis)
+    nl.add_output("y")
+    nl.validate()
+    return nl
+
+
+class TestDetectability:
+    def test_and_gate_values(self, and8):
+        assert fault_detectability(and8, StuckAtFault("y", 0)) == 1 / 256
+        assert fault_detectability(and8, StuckAtFault("y", 1)) == 255 / 256
+
+    def test_input_fault(self, and8):
+        # i0/sa0 detected only by the all-ones pattern
+        assert fault_detectability(and8, StuckAtFault("i0", 0)) == 1 / 256
+
+    def test_redundant_fault_zero(self):
+        nl = Netlist("taut")
+        nl.add_input("a")
+        nl.add_gate("na", GateType.NOT, ["a"])
+        nl.add_gate("y", GateType.OR, ["a", "na"])
+        nl.add_output("y")
+        assert fault_detectability(nl, StuckAtFault("y", 1)) == 0.0
+
+    def test_profile(self, and8):
+        prof = detectability_profile(and8, full_fault_list(and8))
+        fault, d = prof.hardest
+        assert d == 1 / 256
+        assert prof.redundant == []
+
+    def test_expected_coverage_monotone(self, and8):
+        prof = detectability_profile(and8, full_fault_list(and8))
+        cov = [prof.expected_coverage(L) for L in (1, 16, 256, 4096)]
+        assert cov == sorted(cov)
+        assert cov[-1] > 0.9
+
+
+class TestCoverageCurve:
+    def test_monotone_nondecreasing(self, and8):
+        curve = random_coverage_curve(
+            and8, full_fault_list(and8), lengths=[8, 64, 512, 2048], seed=3
+        )
+        values = [c for _, c in curve]
+        assert values == sorted(values)
+
+    def test_exhaustive_beats_random_at_equal_length(self, and8):
+        """The paper's PET argument: at L = 2^ι random < exhaustive."""
+        faults = full_fault_list(and8)
+        curve = random_coverage_curve(and8, faults, lengths=[256], seed=3)
+        # exhaustive testing at 256 patterns covers every fault
+        assert curve[0][1] < 1.0
+
+    def test_deterministic(self, and8):
+        f = full_fault_list(and8)
+        a = random_coverage_curve(and8, f, [128], seed=9)
+        b = random_coverage_curve(and8, f, [128], seed=9)
+        assert a == b
+
+    def test_empty_lengths(self, and8):
+        assert random_coverage_curve(and8, [], []) == []
+
+
+class TestSizingFormula:
+    def test_known_value(self):
+        # d=1/256, c=0.99 -> about 1178 patterns
+        L = expected_random_test_length(1 / 256, 0.99)
+        assert 1100 < L < 1250
+
+    def test_far_exceeds_exhaustive_for_hard_faults(self):
+        """Random BIST needs >> 2^ι patterns for minimum-detectability
+        faults — the quantitative case for pseudo-exhaustive testing."""
+        iota = 8
+        L = expected_random_test_length(1 / 2**iota, 0.99)
+        assert L > 4 * 2**iota
+
+    def test_easy_fault(self):
+        assert expected_random_test_length(1.0) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            expected_random_test_length(0.0)
+        with pytest.raises(SimulationError):
+            expected_random_test_length(0.5, confidence=1.0)

@@ -1,0 +1,46 @@
+"""Scan-chain shift-plan semantics."""
+
+import pytest
+
+from repro.cbit.assemble import CBITAssignment, CBITPlan
+from repro.cbit.types import cbit_cost_for_inputs
+from repro.ppet import build_scan_chain
+
+
+def make_plan(widths):
+    assignments = []
+    for cid, w in enumerate(widths):
+        cost, types = cbit_cost_for_inputs(w)
+        assignments.append(
+            CBITAssignment(
+                cluster_id=cid,
+                input_nets=tuple(f"n{cid}_{i}" for i in range(w)),
+                types=tuple(types),
+                cost_dff=cost,
+            )
+        )
+    return CBITPlan(assignments=tuple(assignments), total_cost_dff=0.0)
+
+
+class TestShiftPlan:
+    def test_bit_count(self):
+        chain = build_scan_chain(make_plan([3, 5, 2]))
+        bits = chain.shift_plan({0: 0b111, 1: 0, 2: 0b01})
+        assert len(bits) == 10
+
+    def test_stream_reversed_for_tail_first_loading(self):
+        chain = build_scan_chain(make_plan([2, 2]))
+        bits = chain.shift_plan({0: 0b01, 1: 0b10})
+        # serialization: seg0 bits (1,0) then seg1 bits (0,1), reversed
+        assert bits == [1, 0, 0, 1]
+
+    def test_missing_seed_defaults_zero(self):
+        chain = build_scan_chain(make_plan([3]))
+        assert chain.shift_plan({}) == [0, 0, 0]
+
+    def test_offsets_partition_the_chain(self):
+        widths = [4, 2, 6]
+        chain = build_scan_chain(make_plan(widths))
+        offsets = [chain.offset_of(i) for i in range(3)]
+        assert offsets == [0, 4, 6]
+        assert chain.length == sum(widths)

@@ -1,0 +1,98 @@
+"""End-to-end PPET self-test sessions (CUT extraction, coverage, aliasing)."""
+
+import pytest
+
+from repro.config import MercedConfig
+from repro.graphs import SCCIndex, build_circuit_graph
+from repro.partition import assign_cbit, make_group
+from repro.ppet import PPETSession, extract_cut
+
+
+@pytest.fixture
+def s27_session(s27, s27_graph, s27_scc):
+    res = make_group(s27_graph, s27_scc, MercedConfig(lk=3, seed=7))
+    merged = assign_cbit(res.partition)
+    return PPETSession(s27, merged.partition)
+
+
+class TestExtractCut:
+    def test_cut_is_valid_netlist(self, s27_session):
+        for cluster in s27_session.partition.clusters:
+            if cluster.input_count == 0:
+                continue
+            cut = extract_cut(
+                s27_session.partition, cluster, s27_session.netlist
+            )
+            cut.validate()
+            assert set(cut.inputs) == set(cluster.input_nets)
+
+    def test_cut_has_observation_points(self, s27_session):
+        for cluster in s27_session.partition.clusters:
+            if cluster.input_count == 0:
+                continue
+            cut = extract_cut(
+                s27_session.partition, cluster, s27_session.netlist
+            )
+            assert cut.outputs
+
+    def test_cut_cells_are_cluster_members(self, s27_session):
+        p = s27_session.partition
+        for cluster in p.clusters:
+            if cluster.input_count == 0:
+                continue
+            cut = extract_cut(p, cluster, s27_session.netlist)
+            assert {c.output for c in cut.cells()} <= set(cluster.nodes)
+
+
+class TestRunCut:
+    def test_full_coverage_on_s27_segments(self, s27_session):
+        for cluster in s27_session.partition.clusters:
+            if cluster.input_count == 0:
+                continue
+            result = s27_session.run_cut(cluster)
+            assert result.coverage == 1.0
+            assert result.n_patterns == 1 << result.n_inputs
+            assert not result.truncated
+
+    def test_collapse_equals_no_collapse(self, s27_session):
+        """Collapsing must not change the detected fault set."""
+        cluster = s27_session.partition.clusters[0]
+        with_c = s27_session.run_cut(cluster, collapse=True)
+        without_c = s27_session.run_cut(cluster, collapse=False)
+        assert with_c.detected == without_c.detected
+
+    def test_truncation_flag(self, s27, s27_graph, s27_scc):
+        res = make_group(s27_graph, s27_scc, MercedConfig(lk=7, seed=7))
+        merged = assign_cbit(res.partition)
+        session = PPETSession(s27, merged.partition, max_sim_inputs=2)
+        big = max(merged.partition.clusters, key=lambda c: c.input_count)
+        if big.input_count > 2:
+            result = session.run_cut(big)
+            assert result.truncated
+
+
+class TestFullSession:
+    def test_session_report(self, s27_session):
+        report = s27_session.run()
+        assert report.coverage.coverage == 1.0
+        assert report.schedule.n_pipes >= 1
+        assert report.schedule.scan_cycles == 2 * report.scan_chain.length
+        text = report.render()
+        assert "100.00%" in text
+        assert "test pipes" in text
+
+    def test_aliasing_rare_with_wide_misr(self, s27_session):
+        report = s27_session.run()
+        total_detected = sum(len(r.detected) for r in report.results)
+        # width ≥ l_k: expected aliasing ≈ detected × 2^-3 at worst
+        assert report.aliasing_events <= max(4, total_detected // 4)
+
+    def test_session_on_generated_circuit(self, s510):
+        g = build_circuit_graph(s510, with_po_nodes=False)
+        cfg = MercedConfig(lk=8, seed=3, min_visit=5)
+        res = make_group(g, SCCIndex(g), cfg)
+        merged = assign_cbit(res.partition)
+        session = PPETSession(s510, merged.partition, max_sim_inputs=8)
+        report = session.run()
+        # pseudo-exhaustive testing achieves high stuck-at coverage
+        assert report.coverage.coverage > 0.90

@@ -1,0 +1,65 @@
+"""Response compaction and aliasing verdicts."""
+
+import pytest
+
+from repro.errors import CBITError
+from repro.ppet import (
+    SignatureVerdict,
+    compact_signature,
+    response_words_to_stream,
+)
+
+
+class TestTranspose:
+    def test_stream_layout(self):
+        values = {"x": 0b101, "y": 0b011}
+        stream = response_words_to_stream(values, ["x", "y"], 3)
+        # clock0: x=1,y=1 -> 0b11; clock1: x=0,y=1 -> 0b10; clock2: x=1,y=0
+        assert stream == [0b11, 0b10, 0b01]
+
+    def test_empty_patterns(self):
+        assert response_words_to_stream({"x": 0}, ["x"], 0) == []
+
+
+class TestCompaction:
+    def test_deterministic(self):
+        values = {"x": 0b10110, "y": 0b01101}
+        s1 = compact_signature(values, ["x", "y"], 5)
+        s2 = compact_signature(values, ["x", "y"], 5)
+        assert s1 == s2
+
+    def test_sensitive_to_single_bit(self):
+        v1 = {"x": 0b10110, "y": 0b01101}
+        v2 = {"x": 0b10111, "y": 0b01101}
+        assert compact_signature(v1, ["x", "y"], 5) != compact_signature(
+            v2, ["x", "y"], 5
+        )
+
+    def test_width_bounds_signature(self):
+        values = {"x": (1 << 60) - 1}
+        sig = compact_signature(values, ["x"], 60, width=8)
+        assert 0 <= sig < 256
+
+    def test_wide_responses_fold(self):
+        values = {f"s{i}": 0b1 for i in range(10)}
+        observe = [f"s{i}" for i in range(10)]
+        sig = compact_signature(values, observe, 1, width=4)
+        assert 0 <= sig < 16
+
+    def test_empty_observation_rejected(self):
+        with pytest.raises(CBITError):
+            compact_signature({}, [], 4)
+
+
+class TestVerdict:
+    def test_detected(self):
+        v = SignatureVerdict(golden=5, faulty=9, responses_differ=True)
+        assert v.detected and not v.aliased
+
+    def test_aliased(self):
+        v = SignatureVerdict(golden=5, faulty=5, responses_differ=True)
+        assert v.aliased and not v.detected
+
+    def test_clean(self):
+        v = SignatureVerdict(golden=5, faulty=5, responses_differ=False)
+        assert not v.aliased and not v.detected

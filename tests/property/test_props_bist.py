@@ -1,0 +1,90 @@
+"""Property-based tests: BIST insertion on random circuits.
+
+The strongest invariant in the library: for ANY generated circuit and ANY
+Merced partition of it, the emitted test netlist is bit-identical to the
+original in normal mode, from any test-register power-up state.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import Merced, MercedConfig
+from repro.cbit import insert_test_hardware
+from repro.circuits.generator import generate_circuit
+from repro.circuits.profiles import CircuitProfile
+from repro.sim import SequentialSimulator, random_input_sequence
+
+
+@st.composite
+def tiny_profiles(draw):
+    n_dffs = draw(st.integers(min_value=1, max_value=6))
+    dffs_on_scc = draw(st.integers(min_value=0, max_value=n_dffs))
+    n_gates = draw(st.integers(min_value=15, max_value=40))
+    n_inv = draw(st.integers(min_value=0, max_value=6))
+    base = 2 * n_gates + n_inv + 10 * n_dffs
+    return CircuitProfile(
+        name=f"tiny{draw(st.integers(0, 10**6))}",
+        n_inputs=draw(st.integers(min_value=2, max_value=6)),
+        n_dffs=n_dffs,
+        n_gates=n_gates,
+        n_inverters=n_inv,
+        paper_area=base + draw(st.integers(min_value=0, max_value=10)),
+        dffs_on_scc=dffs_on_scc,
+        n_outputs=draw(st.integers(min_value=1, max_value=3)),
+    )
+
+
+@given(
+    tiny_profiles(),
+    st.integers(min_value=7, max_value=12),  # > max upgraded fan-in (6)
+    st.booleans(),
+    st.booleans(),
+)
+@settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_bist_normal_mode_equivalence(profile, lk, with_scan, dual_mode):
+    netlist = generate_circuit(profile, seed=11)
+    report = Merced(MercedConfig(lk=lk, seed=5, min_visit=3)).run(netlist)
+    bist = insert_test_hardware(
+        netlist,
+        report.partition,
+        include_scan=with_scan,
+        include_primary_outputs=True,
+        dual_mode_controls=dual_mode,
+    )
+    bist.netlist.validate()
+    seq = random_input_sequence(netlist, 10, seed=3)
+    orig = SequentialSimulator(netlist).run(seq)
+    extra = {"test_mode": 0}
+    if with_scan:
+        extra.update(scan_en=0, scan_in=0)
+    if dual_mode:
+        extra.update({f"psa_en_{cid}": 1 for cid in bist.cbit_chains})
+    sim = SequentialSimulator(bist.netlist)
+    # arbitrary nonzero test-register state must not leak into normal mode
+    state = {q: 1 for q in bist.cut_cells.values()}
+    got = sim.run([dict(x, **extra) for x in seq], state=state)
+    n_po = len(orig[0])
+    assert [t[:n_po] for t in got] == orig
+
+
+@given(tiny_profiles(), st.integers(min_value=7, max_value=10))
+@settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_bist_structure_accounts_for_every_cut(profile, lk):
+    netlist = generate_circuit(profile, seed=23)
+    report = Merced(MercedConfig(lk=lk, seed=5, min_visit=3)).run(netlist)
+    bist = insert_test_hardware(netlist, report.partition)
+    assert set(bist.cut_cells) == set(report.partition.cut_nets())
+    # every chain register is unique and owned by exactly one chain
+    order = bist.chain_order
+    assert len(order) == len(set(order))
+    for q in bist.cut_cells.values():
+        assert bist.netlist.cell(q).is_dff

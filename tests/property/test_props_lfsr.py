@@ -1,0 +1,66 @@
+"""Property-based tests: LFSR/MISR registers."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cbit import LFSR, MISR
+
+widths = st.integers(min_value=2, max_value=11)
+
+
+@given(widths)
+@settings(max_examples=20, deadline=None)
+def test_complete_lfsr_is_a_permutation_cycle(width):
+    """Each state has exactly one successor and the orbit covers all 2^n."""
+    lfsr = LFSR(width, complete=True)
+    seen = set()
+    for _ in range(1 << width):
+        seen.add(lfsr.step())
+    assert len(seen) == 1 << width
+
+
+@given(widths, st.integers(min_value=1))
+@settings(max_examples=30, deadline=None)
+def test_lfsr_state_determined_by_seed(width, seed):
+    a = LFSR(width, seed=seed)
+    b = LFSR(width, seed=seed)
+    assert [a.step() for _ in range(20)] == [b.step() for _ in range(20)]
+
+
+@given(widths)
+@settings(max_examples=20, deadline=None)
+def test_plain_lfsr_avoids_zero(width):
+    lfsr = LFSR(width, seed=1, complete=False)
+    assert all(s != 0 for s in lfsr.sequence())
+
+
+@given(
+    widths,
+    st.lists(st.integers(min_value=0, max_value=2047), max_size=40),
+)
+@settings(max_examples=60, deadline=None)
+def test_misr_linearity(width, stream):
+    """sig(a ⊕ b) = sig(a) ⊕ sig(b) from a zero seed."""
+    import random
+
+    rng = random.Random(1234)
+    mask = (1 << width) - 1
+    other = [rng.randint(0, mask) for _ in stream]
+    sa = MISR(width, seed=0).absorb_stream([w & mask for w in stream])
+    sb = MISR(width, seed=0).absorb_stream(other)
+    sx = MISR(width, seed=0).absorb_stream(
+        [(w & mask) ^ o for w, o in zip(stream, other)]
+    )
+    assert sx == sa ^ sb
+
+
+@given(widths, st.lists(st.integers(min_value=0, max_value=2047), min_size=1, max_size=30))
+@settings(max_examples=60, deadline=None)
+def test_misr_update_is_injective_in_state(width, stream):
+    """Distinct states stay distinct under the same input stream."""
+    mask = (1 << width) - 1
+    a = MISR(width, seed=1)
+    b = MISR(width, seed=2)
+    a.absorb_stream([w & mask for w in stream])
+    b.absorb_stream([w & mask for w in stream])
+    assert a.signature != b.signature

@@ -1,0 +1,83 @@
+"""Property-based tests: partition invariants on random circuits."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import MercedConfig
+from repro.graphs import NodeKind, SCCIndex, build_circuit_graph
+from repro.partition import (
+    Cluster,
+    assign_cbit,
+    cluster_input_nets,
+    make_group,
+    merged_input_nets,
+)
+from repro.circuits.generator import generate_circuit
+from repro.circuits.profiles import CircuitProfile
+
+
+@st.composite
+def small_profiles(draw):
+    n_dffs = draw(st.integers(min_value=2, max_value=12))
+    dffs_on_scc = draw(st.integers(min_value=0, max_value=n_dffs))
+    n_gates = draw(st.integers(min_value=max(20, 3 * n_dffs + 5), max_value=80))
+    n_inv = draw(st.integers(min_value=0, max_value=15))
+    base = 2 * n_gates + n_inv + 10 * n_dffs
+    area = base + draw(st.integers(min_value=0, max_value=n_gates))
+    return CircuitProfile(
+        name=f"rand{draw(st.integers(0, 10**6))}",
+        n_inputs=draw(st.integers(min_value=3, max_value=10)),
+        n_dffs=n_dffs,
+        n_gates=n_gates,
+        n_inverters=n_inv,
+        paper_area=area,
+        dffs_on_scc=dffs_on_scc,
+        n_outputs=draw(st.integers(min_value=1, max_value=5)),
+    )
+
+
+@given(small_profiles(), st.integers(min_value=6, max_value=16))
+@settings(max_examples=25, deadline=None)
+def test_pipeline_invariants_on_random_circuits(profile, lk):
+    """make_group + assign_cbit keep every documented invariant."""
+    netlist = generate_circuit(profile, seed=7)
+    graph = build_circuit_graph(netlist, with_po_nodes=False)
+    scc = SCCIndex(graph)
+    cfg = MercedConfig(lk=lk, seed=1, min_visit=3)
+    group = make_group(graph, scc, cfg, strict=False)
+    merged = assign_cbit(group.partition)
+    p = merged.partition
+    p.validate()
+    # every cut net is comb-sourced and crosses clusters into comb logic
+    for net_name in p.cut_nets():
+        net = graph.net(net_name)
+        assert graph.kind(net.source) is NodeKind.COMB
+        src = p.cluster_of(net.source)
+        assert any(
+            graph.kind(s) is NodeKind.COMB and p.cluster_of(s) is not src
+            for s in net.sinks
+        )
+    # merging monotonicity
+    assert merged.n_partitions <= group.partition.m
+    assert len(p.cut_nets()) <= len(group.partition.cut_nets())
+    # feasible unless make_group itself gave up
+    if group.feasible:
+        assert p.max_input_count() <= lk
+
+
+@given(small_profiles())
+@settings(max_examples=15, deadline=None)
+def test_merged_input_nets_matches_recount(profile):
+    """The incremental ι formula agrees with a from-scratch recount."""
+    netlist = generate_circuit(profile, seed=3)
+    graph = build_circuit_graph(netlist, with_po_nodes=False)
+    nodes = [
+        n for n in graph.nodes() if graph.kind(n) is not NodeKind.INPUT
+    ]
+    half = len(nodes) // 2
+    a = Cluster.from_nodes(0, graph, nodes[:half])
+    b = Cluster.from_nodes(1, graph, nodes[half:])
+    assert merged_input_nets(graph, a, b) == frozenset(
+        cluster_input_nets(graph, set(nodes))
+    )

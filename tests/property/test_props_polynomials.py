@@ -1,0 +1,74 @@
+"""Property-based tests: GF(2) polynomial arithmetic."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cbit.polynomials import (
+    is_irreducible,
+    is_primitive,
+    poly_degree,
+    poly_mul_mod,
+    poly_pow_mod,
+    primitive_polynomial,
+)
+
+mods = st.sampled_from([primitive_polynomial(d) for d in (2, 3, 4, 5, 8)])
+
+
+def elements(mod):
+    return st.integers(min_value=0, max_value=(1 << poly_degree(mod)) - 1)
+
+
+@given(st.data(), mods)
+def test_multiplication_commutative(data, mod):
+    a = data.draw(elements(mod))
+    b = data.draw(elements(mod))
+    assert poly_mul_mod(a, b, mod) == poly_mul_mod(b, a, mod)
+
+
+@given(st.data(), mods)
+def test_multiplication_associative(data, mod):
+    a, b, c = (data.draw(elements(mod)) for _ in range(3))
+    left = poly_mul_mod(poly_mul_mod(a, b, mod), c, mod)
+    right = poly_mul_mod(a, poly_mul_mod(b, c, mod), mod)
+    assert left == right
+
+
+@given(st.data(), mods)
+def test_distributes_over_xor(data, mod):
+    a, b, c = (data.draw(elements(mod)) for _ in range(3))
+    left = poly_mul_mod(a, b ^ c, mod)
+    right = poly_mul_mod(a, b, mod) ^ poly_mul_mod(a, c, mod)
+    assert left == right
+
+
+@given(st.data(), mods)
+def test_one_is_identity(data, mod):
+    a = data.draw(elements(mod))
+    assert poly_mul_mod(a, 1, mod) == a
+
+
+@given(st.data(), mods, st.integers(min_value=0, max_value=50))
+def test_pow_matches_repeated_multiplication(data, mod, e):
+    a = data.draw(elements(mod))
+    expected = 1
+    for _ in range(e):
+        expected = poly_mul_mod(expected, a, mod)
+    assert poly_pow_mod(a, e, mod) == expected
+
+
+@given(mods)
+def test_nonzero_elements_form_group(mod):
+    """In GF(2^n) = GF(2)[x]/(p), every nonzero element has order dividing 2^n−1."""
+    n = poly_degree(mod)
+    order = (1 << n) - 1
+    for a in range(1, 1 << n):
+        assert poly_pow_mod(a, order, mod) == 1
+
+
+@given(st.integers(min_value=2, max_value=12), st.integers(min_value=0, max_value=4095))
+@settings(max_examples=60)
+def test_primitive_implies_irreducible(degree, low_bits):
+    poly = (1 << degree) | (low_bits & ((1 << degree) - 1)) | 1
+    if is_primitive(poly):
+        assert is_irreducible(poly)

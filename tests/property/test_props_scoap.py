@@ -1,0 +1,72 @@
+"""Property-based tests: SCOAP invariants on random circuits."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits.generator import generate_circuit
+from repro.circuits.profiles import CircuitProfile
+from repro.faults.scoap import INF, compute_scoap
+
+
+@st.composite
+def profiles(draw):
+    n_dffs = draw(st.integers(min_value=1, max_value=8))
+    n_gates = draw(st.integers(min_value=15, max_value=60))
+    n_inv = draw(st.integers(min_value=0, max_value=10))
+    base = 2 * n_gates + n_inv + 10 * n_dffs
+    return CircuitProfile(
+        name=f"sc{draw(st.integers(0, 10**6))}",
+        n_inputs=draw(st.integers(min_value=2, max_value=8)),
+        n_dffs=n_dffs,
+        n_gates=n_gates,
+        n_inverters=n_inv,
+        paper_area=base + draw(st.integers(min_value=0, max_value=12)),
+        dffs_on_scc=draw(st.integers(min_value=0, max_value=n_dffs)),
+    )
+
+
+@given(profiles())
+@settings(max_examples=20, deadline=None)
+def test_controllability_at_least_one(profile):
+    nl = generate_circuit(profile, seed=4)
+    n = compute_scoap(nl)
+    for sig in n.cc0:
+        assert n.cc0[sig] >= 1 or n.cc0[sig] >= INF
+        assert n.cc1[sig] >= 1 or n.cc1[sig] >= INF
+
+
+@given(profiles())
+@settings(max_examples=20, deadline=None)
+def test_observation_points_free_and_deeper_cones_cost_more(profile):
+    nl = generate_circuit(profile, seed=4)
+    n = compute_scoap(nl)
+    pseudo_outputs = set(nl.outputs) | {
+        c.inputs[0] for c in nl.dff_cells()
+    }
+    for o in pseudo_outputs:
+        assert n.co[o] == 0
+    # every gate driving an observation point costs at most one level more
+    for cell in nl.comb_cells():
+        if cell.output in pseudo_outputs:
+            continue
+        readers_obs = [
+            n.co[cell.output] < INF,
+        ]
+        # no constraint when unobservable; otherwise strictly positive
+        if n.co[cell.output] < INF:
+            assert n.co[cell.output] >= 1
+
+
+@given(profiles())
+@settings(max_examples=15, deadline=None)
+def test_levels_monotone_along_chains(profile):
+    """A gate's controllability is strictly greater than the cheapest of
+    its fan-in assignments (the +1 level charge)."""
+    nl = generate_circuit(profile, seed=4)
+    n = compute_scoap(nl)
+    for cell in nl.comb_cells():
+        best_in = min(
+            min(n.cc0[s], n.cc1[s]) for s in cell.inputs
+        )
+        assert min(n.cc0[cell.output], n.cc1[cell.output]) > best_in \
+            or min(n.cc0[cell.output], n.cc1[cell.output]) >= INF

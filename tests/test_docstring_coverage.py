@@ -1,0 +1,48 @@
+"""Every public item of every module must carry a docstring."""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+
+def iter_public_items():
+    prefix = repro.__name__ + "."
+    for info in pkgutil.walk_packages(repro.__path__, prefix):
+        module = importlib.import_module(info.name)
+        public = getattr(module, "__all__", [])
+        for name in public:
+            obj = getattr(module, name, None)
+            if obj is None or not callable(obj):
+                continue
+            if getattr(obj, "__module__", None) != module.__name__:
+                continue
+            yield module.__name__, name, obj
+
+
+ITEMS = sorted(
+    {(mod, name): obj for mod, name, obj in iter_public_items()}.items()
+)
+
+
+@pytest.mark.parametrize(
+    "key,obj", ITEMS, ids=[f"{m}.{n}" for (m, n), _ in ITEMS]
+)
+def test_public_item_documented(key, obj):
+    doc = inspect.getdoc(obj)
+    assert doc and len(doc.strip()) >= 10, f"{key} lacks a docstring"
+
+
+def test_every_module_documented():
+    prefix = repro.__name__ + "."
+    for info in pkgutil.walk_packages(repro.__path__, prefix):
+        module = importlib.import_module(info.name)
+        assert module.__doc__ and module.__doc__.strip(), info.name
+
+
+def test_item_inventory_is_substantial():
+    """The public API should stay broad (guards accidental de-exports)."""
+    assert len(ITEMS) > 120

@@ -1,0 +1,45 @@
+"""Execute the doctests embedded in the library's docstrings."""
+
+import doctest
+
+import pytest
+
+import repro.cbit.lfsr
+import repro.core.merced
+import repro.cbit.misr
+import repro.cbit.polynomials
+import repro.flow.rng
+import repro.netlist.bench
+import repro.netlist.gates
+import repro.netlist.netlist
+import repro.netlist.verilog
+import repro.ppet.patterns
+import repro.sim.logicsim
+import repro.sim.seqsim
+
+MODULES = [
+    repro.cbit.lfsr,
+    repro.core.merced,
+    repro.cbit.misr,
+    repro.cbit.polynomials,
+    repro.flow.rng,
+    repro.netlist.bench,
+    repro.netlist.gates,
+    repro.netlist.netlist,
+    repro.netlist.verilog,
+    repro.ppet.patterns,
+    repro.sim.logicsim,
+    repro.sim.seqsim,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_doctests(module):
+    result = doctest.testmod(module, verbose=False)
+    assert result.failed == 0, f"{result.failed} doctest failure(s)"
+
+
+def test_doctests_exist_somewhere():
+    """Guard against silently losing all documented examples."""
+    total = sum(doctest.testmod(m, verbose=False).attempted for m in MODULES)
+    assert total >= 8
