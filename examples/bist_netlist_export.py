@@ -13,6 +13,17 @@ Run:
     python examples/bist_netlist_export.py [circuit] [--out FILE]
 """
 
+# --- bootstrap: allow running from a fresh checkout without installing ---
+# Resolve src/ relative to this script so `python examples/<name>.py` works
+# with plain `git clone` (no-op when the package is pip-installed).
+import sys
+from pathlib import Path as _Path
+
+_SRC = str(_Path(__file__).resolve().parents[1] / "src")
+if (_Path(_SRC) / "repro").is_dir() and _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+# -------------------------------------------------------------------------
+
 import argparse
 
 from repro import Merced, MercedConfig, load_circuit
@@ -43,8 +54,10 @@ def main() -> None:
     for cid, chain in sorted(bist.cbit_chains.items()):
         print(f"  CBIT {cid}: {' -> '.join(chain)}")
 
-    out_path = args.out or f"{args.circuit}_bist.bench"
-    write_bench_file(bist.netlist, out_path)
+    # resolve against the caller's cwd explicitly, so where the artifact
+    # lands is visible in the output rather than implicit
+    out_path = _Path(args.out or f"{args.circuit}_bist.bench").resolve()
+    write_bench_file(bist.netlist, str(out_path))
     print(f"\nwrote {out_path}")
 
     # --- demonstrate the modes -----------------------------------------

@@ -13,6 +13,17 @@ Run:
     python examples/structural_selftest.py [circuit] [--lk N]
 """
 
+# --- bootstrap: allow running from a fresh checkout without installing ---
+# Resolve src/ relative to this script so `python examples/<name>.py` works
+# with plain `git clone` (no-op when the package is pip-installed).
+import sys
+from pathlib import Path as _Path
+
+_SRC = str(_Path(__file__).resolve().parents[1] / "src")
+if (_Path(_SRC) / "repro").is_dir() and _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+# -------------------------------------------------------------------------
+
 import argparse
 
 from repro import Merced, MercedConfig, load_circuit

@@ -77,6 +77,15 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="solve and apply the cut retiming; report the register moves",
     )
+    parser.add_argument(
+        "--profile",
+        nargs="?",
+        const="-",
+        metavar="FILE",
+        help="collect per-stage timers and hot-path counters "
+        "(Dijkstra runs, relaxations, nets cut, merge attempts) and emit "
+        "the JSON trace to FILE, or to stdout when no FILE is given",
+    )
     return parser
 
 
@@ -109,16 +118,36 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         )
         from .merced import Merced
 
-        report = Merced(config).run(
-            netlist, retimable_method="solver" if args.solver else "scc-budget"
-        )
+        trace = None
+        if args.profile:
+            from ..perf import PerfTrace, activate
+
+            trace = activate(PerfTrace(label=netlist.name))
+        try:
+            report = Merced(config).run(
+                netlist,
+                retimable_method="solver" if args.solver else "scc-budget",
+            )
+        finally:
+            if trace is not None:
+                from ..perf import deactivate
+
+                deactivate()
         print(report.render())
         if args.selftest:
+            from ..perf import activate as perf_activate
+            from ..perf import deactivate as perf_deactivate
             from ..ppet.session import PPETSession
 
-            session = PPETSession(netlist, report.partition, report.plan)
-            print()
-            print(session.run().render())
+            if trace is not None:
+                perf_activate(trace)
+            try:
+                session = PPETSession(netlist, report.partition, report.plan)
+                print()
+                print(session.run().render())
+            finally:
+                if trace is not None:
+                    perf_deactivate()
         if args.retime:
             from ..graphs.build import build_circuit_graph
             from ..retiming.apply import apply_retiming
@@ -157,7 +186,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
             write_verilog_file(emitted, args.verilog_out)
             print(f"Verilog written to {args.verilog_out}")
-    except ReproError as exc:
+        if trace is not None:
+            if args.profile == "-":
+                print()
+                print(trace.to_json())
+            else:
+                trace.write(args.profile)
+                print()
+                print(f"perf trace written to {args.profile}")
+    except (OSError, ReproError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
     return 0

@@ -23,6 +23,9 @@ from ..graphs.scc import SCCIndex
 from ..netlist.netlist import Netlist
 from ..partition.assign_cbit import assign_cbit
 from ..partition.make_group import make_group
+from ..perf import count as perf_count
+from ..perf import current_trace
+from ..perf import stage as perf_stage
 from .cost import compare_cbit_area
 from .result import MercedReport, PartitionRow
 
@@ -57,14 +60,27 @@ class Merced:
                 ``"solver"`` (exact retiming feasibility).
         """
         netlist.validate()
+        trace = current_trace()
+        if trace is not None:
+            trace.set_meta(
+                circuit=netlist.name,
+                lk=self.config.lk,
+                beta=self.config.beta,
+                seed=self.config.seed,
+            )
         t0 = time.perf_counter()
-        graph = build_circuit_graph(netlist, with_po_nodes=False)  # STEP 1
-        scc_index = SCCIndex(graph)  # STEP 2
-        group = make_group(  # STEP 3 (Tables 3-7)
-            graph, scc_index, self.config, locked=locked
-        )
+        with perf_stage("build_graph"):
+            graph = build_circuit_graph(netlist, with_po_nodes=False)  # STEP 1
+        with perf_stage("scc"):
+            scc_index = SCCIndex(graph)  # STEP 2
+        with perf_stage("make_group"):
+            group = make_group(  # STEP 3 (Tables 3-7)
+                graph, scc_index, self.config, locked=locked
+            )
+        perf_count("splits", group.n_splits)
         if self.config.merge_clusters:
-            assigned = assign_cbit(group.partition)  # STEP 3 (Table 8)
+            with perf_stage("assign_cbit"):
+                assigned = assign_cbit(group.partition)  # STEP 3 (Table 8)
             partition = assigned.partition
             cost_dff = assigned.cost_dff
             n_merges = assigned.n_merges
@@ -77,19 +93,22 @@ class Merced:
                 for c in partition.clusters
             )
             n_merges = 0
+        perf_count("merges", n_merges)
         cpu = time.perf_counter() - t0
 
         cut_nets = partition.cut_nets()
+        perf_count("nets_cut", len(cut_nets))
         stats = netlist.stats()
-        area = compare_cbit_area(
-            circuit=stats.name,
-            lk=self.config.lk,
-            circuit_area_units=stats.area_units,
-            cut_nets=cut_nets,
-            scc_index=scc_index,
-            method=retimable_method,
-            graph=graph if retimable_method == "solver" else None,
-        )
+        with perf_stage("area_accounting"):
+            area = compare_cbit_area(
+                circuit=stats.name,
+                lk=self.config.lk,
+                circuit_area_units=stats.area_units,
+                cut_nets=cut_nets,
+                scc_index=scc_index,
+                method=retimable_method,
+                graph=graph if retimable_method == "solver" else None,
+            )
         row = PartitionRow(
             circuit=stats.name,
             n_dffs=stats.n_dffs,
@@ -98,7 +117,8 @@ class Merced:
             n_cut_nets=area.n_cut_nets,
             cpu_seconds=cpu,
         )
-        plan = assemble_cbits(partition)
+        with perf_stage("assemble_cbits"):
+            plan = assemble_cbits(partition)
         return MercedReport(
             circuit_stats=stats,
             config=self.config,

@@ -9,16 +9,45 @@ exactly the nets the paper cuts first (highest ``d``).
 from __future__ import annotations
 
 import math
-from typing import List
+from typing import Dict, List
 
 from ..graphs.digraph import CircuitGraph, Net
 
-__all__ = ["update_distance", "distance_levels", "inject_flow"]
+__all__ = ["exp_distance", "update_distance", "distance_levels", "inject_flow"]
+
+#: Memo of ``exp(x)`` keyed on the exact float exponent.  Saturation
+#: re-evaluates ``d(e)`` after every flow injection, but with uniform Δ and
+#: capacity the exponent takes only as many distinct values as there are
+#: distinct injection counts — a few hundred on even the largest circuits —
+#: so the transcendental is computed once per level instead of once per
+#: injection (millions of times on the s38xxx benches).
+_EXP_CACHE: Dict[float, float] = {}
+_EXP_CACHE_LIMIT = 1 << 16
+
+
+def exp_distance(exponent: float) -> float:
+    """``exp(exponent)`` with memoization over repeated exponent values.
+
+    Bit-identical to :func:`math.exp` — the cache only skips recomputing
+    the same float argument, it never substitutes a nearby value.
+
+    >>> import math
+    >>> exp_distance(0.08) == math.exp(0.08)
+    True
+    """
+    try:
+        return _EXP_CACHE[exponent]
+    except KeyError:
+        value = math.exp(exponent)
+        if len(_EXP_CACHE) >= _EXP_CACHE_LIMIT:  # pragma: no cover - bound
+            _EXP_CACHE.clear()
+        _EXP_CACHE[exponent] = value
+        return value
 
 
 def update_distance(net: Net, alpha: float) -> float:
     """Recompute and store ``d(e)`` for one net; returns the new value."""
-    net.dist = math.exp(alpha * net.flow / net.cap)
+    net.dist = exp_distance(alpha * net.flow / net.cap)
     return net.dist
 
 

@@ -1,0 +1,177 @@
+"""Prebuilt integer-indexed graph view for ``Saturate_Network``'s hot loop.
+
+``Saturate_Network`` runs ``min_visit × |V|`` Dijkstra shortest-path
+trees.  :func:`repro.graphs.dijkstra.dijkstra_tree` is a faithful but
+string-keyed implementation: every run rebuilds ``dist``/``parent`` dicts
+keyed by node *names* and chases ``Net`` attribute lookups per edge.  At
+the s38xxx scale that dominates the compile.
+
+:class:`FlowIndex` converts the graph **once** into dense integer arrays —
+node ids, per-node adjacency of ``(net id, sink ids)`` pairs, per-net
+``flow``/``dist``/``cap`` arrays — and then answers every subsequent
+Dijkstra/injection query on those arrays.  Per-run state (tentative
+distance, settled flag, tree parent) lives in version-stamped scratch
+arrays, so repeated runs allocate nothing.
+
+The traversal order, tie-breaking counter, and floating-point operations
+replicate :func:`dijkstra_tree` exactly, and flow accumulation/distance
+exponentiation replicate :func:`repro.flow.distance.inject_flow` exactly,
+so a saturation driven through the index is **bit-identical** to one
+driven through the reference implementations (the regression tests assert
+this).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Sequence, Tuple
+
+from ..graphs.digraph import CircuitGraph
+from .distance import exp_distance
+
+__all__ = ["FlowIndex"]
+
+
+class FlowIndex:
+    """Reusable indexed adjacency + flow state for repeated Dijkstra runs.
+
+    Build once per saturation (after ``graph.reset_flow_state``); call
+    :meth:`tree_nets_from` per source and :meth:`inject` per tree; call
+    :meth:`flush` at the end to write the accumulated ``flow``/``dist``
+    back onto the graph's :class:`~repro.graphs.digraph.Net` objects.
+
+    The index snapshots net ``removed`` flags at construction (use
+    :meth:`reload` after cut-state changes); saturation always runs on an
+    uncut graph, so the snapshot is the common case.
+    """
+
+    def __init__(self, graph: CircuitGraph):
+        self.graph = graph
+        self.node_names: List[str] = list(graph.nodes())
+        self.node_ids: Dict[str, int] = {
+            name: i for i, name in enumerate(self.node_names)
+        }
+        nets = list(graph.nets())
+        self._nets = nets
+        self.net_names: List[str] = [n.name for n in nets]
+        net_ids = {n.name: i for i, n in enumerate(nets)}
+        #: per-node list of (net id, tuple of sink node ids), in the same
+        #: order ``graph.out_net_objects`` yields nets.
+        self.adj: List[List[Tuple[int, Tuple[int, ...]]]] = []
+        for name in self.node_names:
+            row = [
+                (
+                    net_ids[net.name],
+                    tuple(self.node_ids[s] for s in net.sinks),
+                )
+                for net in graph.out_net_objects(name)
+            ]
+            self.adj.append(row)
+        n_nets = len(nets)
+        self.flow: List[float] = [0.0] * n_nets
+        self.dist: List[float] = [1.0] * n_nets
+        self.cap: List[float] = [1.0] * n_nets
+        self.removed: List[bool] = [False] * n_nets
+        self.reload()
+        # version-stamped per-run scratch (no per-run allocation)
+        n = len(self.node_names)
+        self._run = 0
+        self._seen: List[int] = [0] * n
+        self._done: List[int] = [0] * n
+        self._tdist: List[float] = [0.0] * n
+        self._parent: List[int] = [-1] * n
+        self._net_seen: List[int] = [0] * n_nets
+
+    # ------------------------------------------------------------------
+    # state sync with the graph
+    # ------------------------------------------------------------------
+    def reload(self) -> None:
+        """Re-snapshot ``flow``/``dist``/``cap``/``removed`` from the graph."""
+        for i, net in enumerate(self._nets):
+            self.flow[i] = net.flow
+            self.dist[i] = net.dist
+            self.cap[i] = net.cap
+            self.removed[i] = net.removed
+
+    def flush(self) -> None:
+        """Write the index's accumulated flow state back to the graph."""
+        for i, net in enumerate(self._nets):
+            net.flow = self.flow[i]
+            net.dist = self.dist[i]
+
+    # ------------------------------------------------------------------
+    # hot path
+    # ------------------------------------------------------------------
+    def tree_nets_from(self, source: str) -> Tuple[List[int], int]:
+        """Distinct net ids of the shortest-path tree rooted at ``source``.
+
+        Returns ``(net_ids, n_relaxations)``; the net set is identical to
+        ``dijkstra_tree(graph, source).tree_nets()``.
+        """
+        src = self.node_ids[source]
+        self._run += 1
+        run = self._run
+        seen, done, tdist, parent = (
+            self._seen,
+            self._done,
+            self._tdist,
+            self._parent,
+        )
+        adj, ndist, removed = self.adj, self.dist, self.removed
+        heappush, heappop = heapq.heappush, heapq.heappop
+        seen[src] = run
+        tdist[src] = 0.0
+        parent[src] = -1
+        counter = 0
+        relaxations = 0
+        heap: List[Tuple[float, int, int]] = [(0.0, 0, src)]
+        settled: List[int] = []
+        settle = settled.append
+        while heap:
+            d, _, node = heappop(heap)
+            if done[node] == run:
+                continue
+            done[node] = run
+            settle(node)
+            for net_i, sinks in adj[node]:
+                if removed[net_i]:
+                    continue
+                nd = d + ndist[net_i]
+                for sink in sinks:
+                    if done[sink] == run:
+                        continue
+                    if seen[sink] != run or nd < tdist[sink]:
+                        seen[sink] = run
+                        tdist[sink] = nd
+                        parent[sink] = net_i
+                        relaxations += 1
+                        counter += 1
+                        heappush(heap, (nd, counter, sink))
+        net_seen = self._net_seen
+        tree: List[int] = []
+        for node in settled:
+            net_i = parent[node]
+            if net_i >= 0 and net_seen[net_i] != run:
+                net_seen[net_i] = run
+                tree.append(net_i)
+        return tree, relaxations
+
+    def inject(
+        self, net_indices: Sequence[int], delta: float, alpha: float
+    ) -> None:
+        """Add ``Δ`` of flow to each net and refresh its distance.
+
+        Float-for-float identical to calling
+        :func:`repro.flow.distance.inject_flow` on each net.
+        """
+        flow, dist, cap = self.flow, self.dist, self.cap
+        for i in net_indices:
+            f = flow[i] + delta
+            flow[i] = f
+            dist[i] = exp_distance(alpha * f / cap[i])
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<FlowIndex {self.graph.name!r}: {len(self.node_names)} nodes, "
+            f"{len(self.net_names)} nets>"
+        )

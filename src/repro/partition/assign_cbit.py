@@ -23,6 +23,7 @@ from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from ..graphs.digraph import CircuitGraph, NodeKind
+from ..perf import count as perf_count
 from .clusters import Cluster, Partition, cluster_input_nets
 
 __all__ = ["MergeGain", "merged_input_nets", "merge_gain", "AssignCBITResult", "assign_cbit"]
@@ -229,6 +230,7 @@ def assign_cbit(
     work = _WorkingSet(graph, partition.clusters)
     final: List[Cluster] = []
     n_merges = 0
+    n_attempts = 0
 
     while len(work):
         # Residual lumping test (Table 8, STEP 4): Σι ≤ l_k guarantees the
@@ -250,6 +252,7 @@ def assign_cbit(
             best: Optional[MergeGain] = None
             best_h = -1
             for h in work.candidates_for(current):
+                n_attempts += 1
                 mg = merge_gain(graph, lk, current, work.by_handle[h])
                 if mg.feasible and mg.better_than(best):
                     best = mg
@@ -272,6 +275,7 @@ def assign_cbit(
     merged_partition = Partition(
         graph, final, lk=lk, scc_index=partition.scc_index
     )
+    perf_count("merge_attempts", n_attempts)
     cost = 0.0
     for c in final:
         c_cost, _ = cbit_cost_for_inputs(c.input_count)

@@ -1,0 +1,21 @@
+"""Performance instrumentation: stage timers, counters, JSON traces."""
+
+from .trace import (
+    PerfTrace,
+    activate,
+    count,
+    current_trace,
+    deactivate,
+    profiled,
+    stage,
+)
+
+__all__ = [
+    "PerfTrace",
+    "activate",
+    "count",
+    "current_trace",
+    "deactivate",
+    "profiled",
+    "stage",
+]

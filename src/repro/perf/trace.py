@@ -1,0 +1,205 @@
+"""Per-stage wall-clock timers and hot-path counters for the Merced pipeline.
+
+The compiler's cost model (Tables 10/11 report CPU seconds) and the
+ROADMAP's performance goals both need *observability*: where does a run
+spend its time, how many Dijkstra trees did ``Saturate_Network`` grow, how
+many edge relaxations did they perform, how many nets were cut, how many
+merge candidates did ``Assign_CBIT`` score.  This module provides a small,
+dependency-free tracing facility:
+
+* :class:`PerfTrace` — an accumulator of named stages (wall-clock seconds
+  + call counts) and named counters, serializable to JSON;
+* a module-level *active trace*: instrumented code calls :func:`stage` /
+  :func:`count`, which are near-zero-cost no-ops until a trace is
+  activated (one ``is None`` check);
+* :func:`profiled` — a context manager that activates a fresh trace for
+  the duration of a block and hands it back.
+
+Instrumentation convention: hot loops accumulate plain local integers and
+report them with **one** :func:`count` call per run, so tracing never
+perturbs the inner loops it measures.
+
+Example:
+    >>> from repro.perf import profiled
+    >>> with profiled("demo") as trace:
+    ...     from repro.perf import stage, count
+    ...     with stage("work"):
+    ...         count("widgets", 3)
+    >>> trace.counters["widgets"]
+    3
+    >>> "work" in trace.to_dict()["stages"]
+    True
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator, Optional
+
+__all__ = [
+    "PerfTrace",
+    "activate",
+    "deactivate",
+    "current_trace",
+    "profiled",
+    "stage",
+    "count",
+]
+
+
+class PerfTrace:
+    """Accumulator of per-stage wall-clock timings and named counters.
+
+    Attributes:
+        label: free-form run label (circuit name, bench id, ...).
+        stages: stage name → ``{"seconds": float, "calls": int}``.
+        counters: counter name → accumulated integer value.
+        meta: free-form scalar metadata merged into the JSON trace.
+    """
+
+    def __init__(self, label: str = ""):
+        self.label = label
+        self.stages: Dict[str, Dict[str, float]] = {}
+        self.counters: Dict[str, int] = {}
+        self.meta: Dict[str, object] = {}
+        self._t0 = time.perf_counter()
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+    @contextmanager
+    def stage(self, name: str) -> Iterator[None]:
+        """Time one pipeline stage; nested/repeated entries accumulate."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            slot = self.stages.setdefault(name, {"seconds": 0.0, "calls": 0})
+            slot["seconds"] += elapsed
+            slot["calls"] += 1
+
+    def count(self, name: str, n: int = 1) -> None:
+        """Add ``n`` to counter ``name`` (created at 0 on first use)."""
+        self.counters[name] = self.counters.get(name, 0) + n
+
+    def set_meta(self, **kwargs) -> None:
+        """Attach scalar metadata (circuit name, l_k, seed, ...)."""
+        self.meta.update(kwargs)
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+    @property
+    def total_seconds(self) -> float:
+        """Wall-clock seconds since the trace was created."""
+        return time.perf_counter() - self._t0
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-dict view of the trace (stable key order for JSON)."""
+        return {
+            "label": self.label,
+            "total_seconds": self.total_seconds,
+            "stages": {
+                name: {
+                    "seconds": slot["seconds"],
+                    "calls": int(slot["calls"]),
+                }
+                for name, slot in self.stages.items()
+            },
+            "counters": dict(self.counters),
+            "meta": dict(self.meta),
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        """JSON rendering of :meth:`to_dict`."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=False)
+
+    def write(self, path) -> None:
+        """Write the JSON trace to ``path``."""
+        with open(path, "w") as fh:
+            fh.write(self.to_json())
+            fh.write("\n")
+
+    def render(self) -> str:
+        """Human-readable one-stage-per-line summary."""
+        lines = [f"perf trace {self.label or '(unlabelled)'}:"]
+        for name, slot in sorted(
+            self.stages.items(), key=lambda kv: -kv[1]["seconds"]
+        ):
+            lines.append(
+                f"  {name:<16} {slot['seconds'] * 1e3:>10.2f} ms"
+                f"  ({int(slot['calls'])} call(s))"
+            )
+        for name, value in sorted(self.counters.items()):
+            lines.append(f"  {name:<24} {value}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<PerfTrace {self.label!r}: {len(self.stages)} stages, "
+            f"{len(self.counters)} counters>"
+        )
+
+
+#: The currently active trace (None → instrumentation is a no-op).
+_ACTIVE: Optional[PerfTrace] = None
+
+
+def activate(trace: PerfTrace) -> PerfTrace:
+    """Make ``trace`` the active collector for :func:`stage`/:func:`count`."""
+    global _ACTIVE
+    _ACTIVE = trace
+    return trace
+
+
+def deactivate() -> Optional[PerfTrace]:
+    """Stop collecting; returns the trace that was active (if any)."""
+    global _ACTIVE
+    trace, _ACTIVE = _ACTIVE, None
+    return trace
+
+
+def current_trace() -> Optional[PerfTrace]:
+    """The active :class:`PerfTrace`, or ``None`` when tracing is off."""
+    return _ACTIVE
+
+
+@contextmanager
+def profiled(label: str = "") -> Iterator[PerfTrace]:
+    """Activate a fresh trace for the duration of the block.
+
+    Example:
+        >>> with profiled("unit") as t:
+        ...     count("things")
+        >>> t.counters
+        {'things': 1}
+    """
+    global _ACTIVE
+    trace = PerfTrace(label)
+    prev = _ACTIVE
+    activate(trace)
+    try:
+        yield trace
+    finally:
+        _ACTIVE = prev
+
+
+@contextmanager
+def stage(name: str) -> Iterator[None]:
+    """Time a stage on the active trace; no-op when tracing is off."""
+    trace = _ACTIVE
+    if trace is None:
+        yield
+        return
+    with trace.stage(name):
+        yield
+
+
+def count(name: str, n: int = 1) -> None:
+    """Bump a counter on the active trace; no-op when tracing is off."""
+    trace = _ACTIVE
+    if trace is not None:
+        trace.counters[name] = trace.counters.get(name, 0) + n

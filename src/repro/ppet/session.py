@@ -12,15 +12,24 @@ measured rather than assumed.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Set
+from typing import Dict, List, Optional, Set
 
 from ..cbit.assemble import CBITPlan, assemble_cbits
 from ..faults.collapse import collapse_faults
 from ..faults.coverage import CoverageReport
-from ..faults.model import StuckAtFault, fault_masks
+from ..faults.model import StuckAtFault
 from ..graphs.digraph import NodeKind
 from ..netlist.netlist import Netlist
 from ..partition.clusters import Cluster, Partition
+from ..perf import count as perf_count
+from ..perf import stage as perf_stage
+from ..sim.bitparallel import (
+    WORD_BITS,
+    chunked,
+    extract_block,
+    fault_block_masks,
+    replicate_word,
+)
 from ..sim.logicsim import CombSimulator
 from .patterns import exhaustive_words, lfsr_order_words
 from .scan import ScanChain, build_scan_chain
@@ -28,6 +37,11 @@ from .schedule import TestSchedule, schedule_pipes
 from .signature import SignatureVerdict, compact_signature
 
 __all__ = ["CUTResult", "SessionReport", "extract_cut", "PPETSession"]
+
+#: Target packed-word width for fault-parallel grading: enough lanes to
+#: amortize the per-gate Python overhead, small enough that big-int
+#: bitwise ops stay cache-friendly.
+_TARGET_WORD_BITS = 1 << 13
 
 
 def extract_cut(partition: Partition, cluster: Cluster, netlist: Netlist) -> Netlist:
@@ -196,17 +210,45 @@ class PPETSession:
         detected_reps: Set[StuckAtFault] = set()
         undetected_reps: Set[StuckAtFault] = set()
         aliased: Set[StuckAtFault] = set()
-        for fault in to_simulate:
-            bad = sim.run(words, n_patterns, faults=fault_masks(fault, n_patterns))
-            differs = any(bad[o] != g for o, g in zip(observe, good_obs))
-            if differs:
-                detected_reps.add(fault)
-                sig = compact_signature(bad, observe, n_patterns, width=width)
-                verdict = SignatureVerdict(golden, sig, responses_differ=True)
-                if verdict.aliased:
-                    aliased.add(fault)
-            else:
-                undetected_reps.add(fault)
+        # Fault-parallel grading: tile the pattern block L times inside
+        # one word and give each replica its own stuck-at masks, so a
+        # single levelized pass grades L faults at once.
+        lanes = max(1, min(WORD_BITS, _TARGET_WORD_BITS // n_patterns))
+        replicated: Dict[int, Dict[str, int]] = {}
+        with perf_stage("session_fault_sim"):
+            for batch in chunked(to_simulate, lanes):
+                n_lanes = len(batch)
+                if n_lanes not in replicated:
+                    replicated[n_lanes] = {
+                        s: replicate_word(w, n_patterns, n_lanes)
+                        for s, w in words.items()
+                    }
+                bad = sim.run(
+                    replicated[n_lanes],
+                    n_patterns * n_lanes,
+                    faults=fault_block_masks(batch, n_patterns),
+                )
+                for j, fault in enumerate(batch):
+                    bad_obs = [
+                        extract_block(bad[o], n_patterns, j) for o in observe
+                    ]
+                    if bad_obs != good_obs:
+                        detected_reps.add(fault)
+                        sig = compact_signature(
+                            dict(zip(observe, bad_obs)),
+                            observe,
+                            n_patterns,
+                            width=width,
+                        )
+                        verdict = SignatureVerdict(
+                            golden, sig, responses_differ=True
+                        )
+                        if verdict.aliased:
+                            aliased.add(fault)
+                    else:
+                        undetected_reps.add(fault)
+        perf_count("cut_faults_graded", len(to_simulate))
+        perf_count("cut_patterns", n_patterns * (1 + len(to_simulate)))
         if collapsed is not None:
             detected = collapsed.expand(detected_reps)
             undetected = set(universe) - detected

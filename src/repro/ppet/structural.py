@@ -18,7 +18,10 @@ from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
 from ..cbit.insert import BISTCircuit, SCAN_EN, SCAN_IN, TEST_MODE
 from ..errors import SimulationError
-from ..faults.model import StuckAtFault, fault_masks
+from ..faults.model import StuckAtFault
+from ..perf import count as perf_count
+from ..perf import stage as perf_stage
+from ..sim.bitparallel import WORD_BITS, block_ones, chunked, fault_block_masks
 from ..sim.seqsim import SequentialSimulator
 
 __all__ = [
@@ -44,12 +47,15 @@ class StructuralSignatures:
         return [cid for cid, sig in mine.items() if sig != theirs.get(cid)]
 
 
-def _signatures(bist: BISTCircuit, state: Mapping[str, int]) -> StructuralSignatures:
+def _signatures(
+    bist: BISTCircuit, state: Mapping[str, int], lane: int = 0
+) -> StructuralSignatures:
+    """Read the per-CBIT signatures out of lane ``lane`` of a state map."""
     per_chain: List[Tuple[int, int]] = []
     for cid, chain in sorted(bist.cbit_chains.items()):
         sig = 0
         for i, reg in enumerate(chain):
-            if state.get(reg, 0) & 1:
+            if (state.get(reg, 0) >> lane) & 1:
                 sig |= 1 << i
         per_chain.append((cid, sig))
     return StructuralSignatures(tuple(per_chain))
@@ -109,28 +115,44 @@ def run_structural_selftest(
         base[SCAN_EN] = 0
         base[SCAN_IN] = 0
 
-    def run(mask_faults: Optional[Dict[str, tuple]]) -> StructuralSignatures:
+    def run_lanes(
+        n_lanes: int, mask_faults: Optional[Dict[str, tuple]]
+    ) -> Dict[str, int]:
+        """Clock ``n_lanes`` independent machines at once; returns state."""
+        ones = block_ones(1, n_lanes)
         sim = SequentialSimulator(nl)
         sim.reset(
-            {q: (seed_state >> i) & 1 for i, q in enumerate(bist.chain_order)}
+            {
+                q: ((seed_state >> i) & 1) * ones
+                for i, q in enumerate(bist.chain_order)
+            }
         )
+        drive = {pi: v * ones for pi, v in base.items()}
         for _ in range(n_cycles):
-            sim.step(base, faults=mask_faults)
-        return _signatures(bist, sim.state)
+            sim.step(drive, n_patterns=n_lanes, faults=mask_faults)
+        return sim.state
 
-    golden = run(None)
-    detected: Set[StuckAtFault] = set()
-    undetected: Set[StuckAtFault] = set()
     for fault in faults:
         if not nl.has_signal(fault.signal):
             raise SimulationError(
                 f"fault site {fault.signal!r} not in the BIST netlist"
             )
-        sigs = run(fault_masks(fault, 1))
-        if sigs.differs_from(golden):
-            detected.add(fault)
-        else:
-            undetected.add(fault)
+    detected: Set[StuckAtFault] = set()
+    undetected: Set[StuckAtFault] = set()
+    with perf_stage("structural_selftest"):
+        golden = _signatures(bist, run_lanes(1, None))
+        # one sequential run grades up to WORD_BITS faults: fault j lives
+        # in bit-lane j of every signal word
+        for batch in chunked(faults, WORD_BITS):
+            state = run_lanes(len(batch), fault_block_masks(batch, 1))
+            for j, fault in enumerate(batch):
+                sigs = _signatures(bist, state, lane=j)
+                if sigs.differs_from(golden):
+                    detected.add(fault)
+                else:
+                    undetected.add(fault)
+    perf_count("selftest_cycles", n_cycles * (1 + len(faults)))
+    perf_count("selftest_runs", 1 + (len(faults) + WORD_BITS - 1) // WORD_BITS)
     return StructuralSelfTest(
         golden=golden,
         detected=detected,
@@ -175,45 +197,7 @@ def run_structural_pipes(
         base[SCAN_EN] = 0
         base[SCAN_IN] = 0
 
-    def run(mask_faults) -> List[Tuple[int, Tuple[Tuple[int, int], ...]]]:
-        observations = []
-        for pipe in schedule.pipes:
-            sim = SequentialSimulator(nl)
-            sim.reset(
-                {
-                    q: (seed_state >> i) & 1
-                    for i, q in enumerate(bist.chain_order)
-                }
-            )
-            drive = dict(base)
-            for cid in chain_ids:
-                drive[psa_pins[cid]] = 0 if cid in pipe.tpg_clusters else 1
-            widest = max(
-                (
-                    len(bist.cbit_chains[c])
-                    for c in pipe.tested_clusters
-                    if c in bist.cbit_chains
-                ),
-                default=1,
-            )
-            cycles = cycles_per_pipe or (1 << widest)
-            for _ in range(cycles):
-                sim.step(drive, faults=mask_faults)
-            sigs = _signatures(bist, sim.state).as_dict()
-            observed = tuple(
-                (cid, sigs[cid])
-                for cid in chain_ids
-                if cid in pipe.psa_clusters
-                or (bist.cbit_chains.get(cid) and cid not in pipe.tpg_clusters)
-            )
-            observations.append((pipe.index, observed))
-        return observations
-
-    golden = run(None)
-    detected: Set[StuckAtFault] = set()
-    undetected: Set[StuckAtFault] = set()
-    total_cycles = 0
-    for pipe in schedule.pipes:
+    def pipe_cycles(pipe) -> int:
         widest = max(
             (
                 len(bist.cbit_chains[c])
@@ -222,16 +206,65 @@ def run_structural_pipes(
             ),
             default=1,
         )
-        total_cycles += cycles_per_pipe or (1 << widest)
+        return cycles_per_pipe or (1 << widest)
+
+    def run_lanes(
+        n_lanes: int, mask_faults: Optional[Dict[str, tuple]]
+    ) -> List[List[Tuple[int, Tuple[Tuple[int, int], ...]]]]:
+        """Observations per lane: ``n_lanes`` machines share each pass."""
+        ones = block_ones(1, n_lanes)
+        observations: List[List[Tuple[int, Tuple[Tuple[int, int], ...]]]] = [
+            [] for _ in range(n_lanes)
+        ]
+        for pipe in schedule.pipes:
+            sim = SequentialSimulator(nl)
+            sim.reset(
+                {
+                    q: ((seed_state >> i) & 1) * ones
+                    for i, q in enumerate(bist.chain_order)
+                }
+            )
+            drive = {pi: v * ones for pi, v in base.items()}
+            for cid in chain_ids:
+                tpg = cid in pipe.tpg_clusters
+                drive[psa_pins[cid]] = 0 if tpg else ones
+            for _ in range(pipe_cycles(pipe)):
+                sim.step(drive, n_patterns=n_lanes, faults=mask_faults)
+            for lane in range(n_lanes):
+                sigs = _signatures(bist, sim.state, lane=lane).as_dict()
+                observed = tuple(
+                    (cid, sigs[cid])
+                    for cid in chain_ids
+                    if cid in pipe.psa_clusters
+                    or (
+                        bist.cbit_chains.get(cid)
+                        and cid not in pipe.tpg_clusters
+                    )
+                )
+                observations[lane].append((pipe.index, observed))
+        return observations
+
     for fault in faults:
         if not nl.has_signal(fault.signal):
             raise SimulationError(
                 f"fault site {fault.signal!r} not in the BIST netlist"
             )
-        if run(fault_masks(fault, 1)) != golden:
-            detected.add(fault)
-        else:
-            undetected.add(fault)
+    detected: Set[StuckAtFault] = set()
+    undetected: Set[StuckAtFault] = set()
+    total_cycles = sum(pipe_cycles(pipe) for pipe in schedule.pipes)
+    with perf_stage("structural_pipes"):
+        golden = run_lanes(1, None)[0]
+        for batch in chunked(faults, WORD_BITS):
+            lanes = run_lanes(len(batch), fault_block_masks(batch, 1))
+            for j, fault in enumerate(batch):
+                if lanes[j] != golden:
+                    detected.add(fault)
+                else:
+                    undetected.add(fault)
+    perf_count("selftest_cycles", total_cycles * (1 + len(faults)))
+    perf_count(
+        "selftest_runs", 1 + (len(faults) + WORD_BITS - 1) // WORD_BITS
+    )
     golden_last = dict(golden[-1][1]) if golden else {}
     return StructuralSelfTest(
         golden=StructuralSignatures(tuple(sorted(golden_last.items()))),

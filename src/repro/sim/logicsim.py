@@ -15,7 +15,7 @@ from ..netlist.gates import GATE_EVALUATORS
 from ..netlist.netlist import Netlist
 from .levelize import LevelizedCircuit, levelize
 
-__all__ = ["CombSimulator", "pack_patterns", "unpack_word"]
+__all__ = ["CombSimulator", "ScalarSimulator", "pack_patterns", "unpack_word"]
 
 
 def pack_patterns(patterns: Sequence[Mapping[str, int]], signals: Sequence[str]) -> Dict[str, int]:
@@ -106,3 +106,74 @@ class CombSimulator:
     def outputs_word(self, values: Mapping[str, int]) -> List[int]:
         """Primary-output words in declaration order."""
         return [values[o] for o in self.netlist.outputs]
+
+
+class ScalarSimulator:
+    """Reference oracle: one pattern at a time, plain 0/1 signal values.
+
+    This is the simulator the bit-parallel engine is validated against:
+    it shares the gate semantics (:data:`GATE_EVALUATORS` with a 1-bit
+    mask) and the levelized evaluation order with
+    :class:`CombSimulator`, but every signal is a bare 0/1 int, so there
+    is no word packing to get wrong.  The equivalence property tests and
+    ``benchmarks/bench_perf_trace.py`` both drive it; production code
+    should use :class:`CombSimulator`.
+    """
+
+    def __init__(self, netlist: Netlist, levelized: Optional[LevelizedCircuit] = None):
+        self.netlist = netlist
+        self.levelized = levelized or levelize(netlist)
+        self._pseudo_inputs = tuple(netlist.inputs) + tuple(
+            c.output for c in netlist.dff_cells()
+        )
+
+    @property
+    def pseudo_inputs(self) -> tuple:
+        """Signals the caller must drive: PIs + DFF outputs."""
+        return self._pseudo_inputs
+
+    def run_pattern(
+        self,
+        pattern: Mapping[str, int],
+        faults: Optional[Mapping[str, tuple]] = None,
+    ) -> Dict[str, int]:
+        """Evaluate every combinational signal for one input pattern.
+
+        Args:
+            pattern: 0/1 value for every pseudo-primary input.
+            faults: optional stuck-at overrides ``signal -> (and_mask,
+                or_mask)`` with 1-bit masks (stuck-at-0 is ``(0, 0)``,
+                stuck-at-1 is ``(1, 1)``).
+
+        Returns:
+            signal → 0/1 value, for every signal in the circuit.
+        """
+        values: Dict[str, int] = {}
+        for sig in self._pseudo_inputs:
+            try:
+                values[sig] = pattern[sig] & 1
+            except KeyError:
+                raise SimulationError(
+                    f"missing drive for pseudo-primary input {sig!r}"
+                ) from None
+        if faults:
+            for sig in self._pseudo_inputs:
+                if sig in faults:
+                    and_m, or_m = faults[sig]
+                    values[sig] = (values[sig] & and_m) | or_m
+        for cell in self.levelized.order:
+            ins = [values[s] for s in cell.inputs]
+            out = GATE_EVALUATORS[cell.gtype](ins, 1)
+            if faults and cell.output in faults:
+                and_m, or_m = faults[cell.output]
+                out = (out & and_m) | or_m
+            values[cell.output] = out & 1
+        return values
+
+    def run_patterns(
+        self,
+        patterns: Sequence[Mapping[str, int]],
+        faults: Optional[Mapping[str, tuple]] = None,
+    ) -> List[Dict[str, int]]:
+        """Evaluate a pattern list one at a time (the scalar baseline)."""
+        return [self.run_pattern(p, faults=faults) for p in patterns]

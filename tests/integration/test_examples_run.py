@@ -1,5 +1,6 @@
 """Every shipped example must run to completion (smoke tests)."""
 
+import os
 import subprocess
 import sys
 from pathlib import Path
@@ -7,15 +8,24 @@ from pathlib import Path
 import pytest
 
 EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+SRC = Path(__file__).resolve().parents[2] / "src"
 
 
 def run_example(tmp_path, script, *args, timeout=240):
+    # Examples bootstrap src/ onto sys.path themselves, but propagate
+    # PYTHONPATH too so they also run from an installed/moved layout.
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (
+        str(SRC) + os.pathsep + existing if existing else str(SRC)
+    )
     proc = subprocess.run(
         [sys.executable, str(EXAMPLES / script), *args],
         capture_output=True,
         text=True,
         timeout=timeout,
         cwd=tmp_path,
+        env=env,
     )
     assert proc.returncode == 0, proc.stderr[-2000:]
     return proc.stdout
@@ -49,7 +59,18 @@ def test_bist_netlist_export(tmp_path):
         tmp_path, "bist_netlist_export.py", "s27", "--out", "bist.bench"
     )
     assert "normal mode bit-identical to original: True" in out
-    assert (tmp_path / "bist.bench").exists()
+    # the example resolves relative output paths against its cwd and
+    # reports the absolute location of the artifact it wrote
+    artifact = tmp_path / "bist.bench"
+    assert artifact.exists() and artifact.stat().st_size > 0
+    assert str(artifact.resolve()) in out
+
+
+def test_bist_netlist_export_default_name(tmp_path):
+    out = run_example(tmp_path, "bist_netlist_export.py", "s27")
+    artifact = tmp_path / "s27_bist.bench"
+    assert artifact.exists() and artifact.stat().st_size > 0
+    assert str(artifact.resolve()) in out
 
 
 def test_random_vs_exhaustive(tmp_path):
