@@ -1,0 +1,19 @@
+"""Repo-root pytest configuration.
+
+Defines the ``--update-golden`` flag here (not in ``tests/conftest.py``)
+because ``pytest_addoption`` must live in a rootdir conftest to be
+registered before collection starts.
+"""
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help=(
+            "regenerate the expected tables under tests/golden/ from the "
+            "current code instead of comparing against them (review the "
+            "diff before committing!)"
+        ),
+    )

@@ -7,7 +7,7 @@ bound ``l_k`` defaults to 16 (CBIT type d4).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import asdict, dataclass, replace
 from typing import Optional
 
 from .errors import ConfigError
@@ -90,6 +90,24 @@ class MercedConfig:
 
     def with_beta(self, beta: int) -> "MercedConfig":
         return replace(self, beta=beta)
+
+    def with_min_visit(self, min_visit: int) -> "MercedConfig":
+        return replace(self, min_visit=min_visit)
+
+    def with_max_sources(self, max_sources: Optional[int]) -> "MercedConfig":
+        return replace(self, max_sources=max_sources)
+
+    def canonical_dict(self) -> dict:
+        """Every field as a stable ``{name: value}`` dict (sorted keys).
+
+        This is the configuration's *identity* for purposes of the sweep
+        result cache (:mod:`repro.exec.hashing`): two configs with equal
+        canonical dicts must produce bit-identical Merced results on the
+        same netlist and code version.  Adding a field to this dataclass
+        automatically widens the identity (and invalidates old cache
+        entries via the changed code hash).
+        """
+        return dict(sorted(asdict(self).items()))
 
 
 #: The paper's published parameter set.

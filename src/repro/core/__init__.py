@@ -2,12 +2,21 @@
 
 from .cost import CBITAreaComparison, compare_cbit_area, count_retimable_cuts
 from .merced import CompilationArtifacts, Merced, compile_circuit
-from .report import format_table, render_table10_11, render_table12, render_table9
+from .report import (
+    format_table,
+    render_seed_stability,
+    render_sweep_beta,
+    render_sweep_lk,
+    render_table10_11,
+    render_table12,
+    render_table9,
+)
 from .result import MercedReport, PartitionRow
 from .sweep import (
     BetaSweepRow,
     LkSweepRow,
     SeedStability,
+    SweepErrorRow,
     seed_stability,
     sweep_beta,
     sweep_lk,
@@ -21,6 +30,9 @@ __all__ = [
     "Merced",
     "compile_circuit",
     "format_table",
+    "render_seed_stability",
+    "render_sweep_beta",
+    "render_sweep_lk",
     "render_table10_11",
     "render_table12",
     "render_table9",
@@ -29,6 +41,7 @@ __all__ = [
     "BetaSweepRow",
     "LkSweepRow",
     "SeedStability",
+    "SweepErrorRow",
     "seed_stability",
     "sweep_beta",
     "sweep_lk",

@@ -5,20 +5,25 @@ Examples::
     merced s27 --lk 3
     merced s5378 --lk 16 --max-sources 1500
     merced --bench mydesign.bench --lk 24 --selftest
+    merced sweep s27 s510 --lk 16 24 --jobs 4 --cache ~/.merced-cache
+    merced sweep s510 --beta 1 5 50 --jobs 2
+    merced sweep s27 --seeds 1 2 3 4 5 --stats-json stats.json
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-from typing import Optional, Sequence
+import time
+from typing import List, Optional, Sequence, Tuple
 
 from ..circuits.library import available_circuits, load_circuit
 from ..config import MercedConfig
 from ..errors import ReproError
 from ..netlist.bench import parse_bench_file
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "build_sweep_parser", "sweep_main"]
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -29,6 +34,10 @@ def build_parser() -> argparse.ArgumentParser:
             "Merced BIST compiler: partition a synchronous circuit for "
             "pipelined pseudo-exhaustive testing with retiming "
             "(Liou/Lin/Cheng, DAC 1996)."
+        ),
+        epilog=(
+            "Subcommands: 'merced sweep --help' runs parameter grids "
+            "through the parallel execution farm with result caching."
         ),
     )
     parser.add_argument(
@@ -89,8 +98,251 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def build_sweep_parser() -> argparse.ArgumentParser:
+    """Construct the ``merced sweep`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="merced sweep",
+        description=(
+            "Run a (circuit × l_k × β × seed) sweep grid through the "
+            "parallel execution farm, with optional on-disk result "
+            "caching keyed by (netlist, config, code version)."
+        ),
+    )
+    parser.add_argument("circuits", nargs="*", help="benchmark names")
+    parser.add_argument(
+        "--bench",
+        action="append",
+        default=[],
+        metavar="FILE",
+        help="also sweep an ISCAS89 .bench file (repeatable)",
+    )
+    parser.add_argument(
+        "--lk",
+        type=int,
+        nargs="+",
+        default=None,
+        metavar="L",
+        help="l_k grid (default: 16 24 when no --beta/--seeds given)",
+    )
+    parser.add_argument(
+        "--beta",
+        type=int,
+        nargs="+",
+        default=None,
+        metavar="B",
+        help="β grid (partition-only study, strict=False)",
+    )
+    parser.add_argument(
+        "--seeds",
+        type=int,
+        nargs="+",
+        default=None,
+        metavar="S",
+        help="flow-seed grid (seed-stability study)",
+    )
+    parser.add_argument("--seed", type=int, default=1996, help="base RNG seed")
+    parser.add_argument(
+        "--min-visit", type=int, default=None, help="fairness threshold override"
+    )
+    parser.add_argument(
+        "--max-sources", type=int, default=None, help="Dijkstra source cap"
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes (1 = inline; results are identical either way)",
+    )
+    parser.add_argument(
+        "--cache",
+        metavar="DIR",
+        help="on-disk result cache directory (created if missing)",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SEC",
+        help="per-point wall-clock budget; overruns degrade to error rows",
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=1,
+        metavar="N",
+        help="extra attempts per failing point before degrading its row",
+    )
+    parser.add_argument(
+        "--stats-json",
+        metavar="FILE",
+        help="write run statistics (cache hits/misses, timings) as JSON",
+    )
+    parser.add_argument(
+        "--profile",
+        nargs="?",
+        const="-",
+        metavar="FILE",
+        help="aggregate per-stage perf traces across workers to FILE/stdout",
+    )
+    return parser
+
+
+def sweep_main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point of ``merced sweep``; returns the exit code."""
+    args = build_sweep_parser().parse_args(argv)
+    if not args.circuits and not args.bench:
+        print("error: give benchmark names and/or --bench FILE", file=sys.stderr)
+        return 2
+    try:
+        return _run_sweep(args)
+    except (OSError, ReproError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+def _run_sweep(args) -> int:
+    from ..exec.cache import ResultCache
+    from ..exec.pool import SweepFarm
+    from ..exec.task import SweepPoint
+    from ..netlist.bench import write_bench
+    from .report import render_seed_stability, render_sweep_beta, render_sweep_lk
+    from .sweep import (
+        beta_row_from_result,
+        lk_row_from_result,
+        stability_from_results,
+    )
+
+    netlists = [load_circuit(name) for name in args.circuits]
+    netlists += [parse_bench_file(path) for path in args.bench]
+    base_kwargs = dict(seed=args.seed, max_sources=args.max_sources)
+    if args.min_visit is not None:
+        base_kwargs["min_visit"] = args.min_visit
+    base = MercedConfig(**base_kwargs)
+
+    lks = args.lk
+    if lks is None and args.beta is None and args.seeds is None:
+        lks = [16, 24]
+
+    # one flat point list across circuits and studies → one farm.map()
+    # call, so the whole grid shares the worker pool.
+    points: List[SweepPoint] = []
+    labels: List[Tuple[str, str, int]] = []  # (mode, circuit, coordinate)
+    for netlist in netlists:
+        bench = write_bench(netlist)
+        for lk in lks or []:
+            points.append(
+                SweepPoint("merced", netlist.name, bench, base.with_lk(lk))
+            )
+            labels.append(("lk", netlist.name, lk))
+        for beta in args.beta or []:
+            points.append(
+                SweepPoint("beta", netlist.name, bench, base.with_beta(beta))
+            )
+            labels.append(("beta", netlist.name, beta))
+        for seed in args.seeds or []:
+            points.append(
+                SweepPoint("merced", netlist.name, bench, base.with_seed(seed))
+            )
+            labels.append(("seed", netlist.name, seed))
+
+    cache = ResultCache(args.cache) if args.cache else None
+    farm = SweepFarm(
+        jobs=args.jobs,
+        timeout=args.timeout,
+        retries=args.retries,
+        cache=cache,
+    )
+
+    trace = None
+    if args.profile:
+        from ..perf import PerfTrace, activate
+
+        trace = activate(PerfTrace(label="sweep"))
+    t0 = time.perf_counter()
+    try:
+        results = farm.map(points)
+    finally:
+        if trace is not None:
+            from ..perf import deactivate
+
+            deactivate()
+    elapsed = time.perf_counter() - t0
+
+    lk_pairs = []
+    beta_pairs = []
+    seed_results: dict = {}
+    for (mode, circuit, coord), result in zip(labels, results):
+        if mode == "lk":
+            lk_pairs.append((circuit, lk_row_from_result(coord, result)))
+        elif mode == "beta":
+            beta_pairs.append((circuit, beta_row_from_result(coord, result)))
+        else:
+            seed_results.setdefault(circuit, []).append((coord, result))
+
+    if lk_pairs:
+        print(render_sweep_lk(lk_pairs))
+    if beta_pairs:
+        if lk_pairs:
+            print()
+        print(render_sweep_beta(beta_pairs))
+    if seed_results:
+        if lk_pairs or beta_pairs:
+            print()
+        stability_pairs = [
+            (
+                circuit,
+                stability_from_results(
+                    [s for s, _ in items], [r for _, r in items]
+                ),
+            )
+            for circuit, items in seed_results.items()
+        ]
+        print(render_seed_stability(stability_pairs))
+
+    n_failed = sum(1 for r in results if not r.ok)
+    n_hits = sum(1 for r in results if r.cache_hit)
+    print()
+    print(
+        f"sweep: {len(results)} point(s) in {elapsed:.2f}s "
+        f"(jobs={args.jobs}, {n_hits} cached, {n_failed} failed)"
+    )
+    if cache is not None:
+        s = cache.stats
+        print(
+            f"cache: {s.hits} hit(s), {s.misses} miss(es), "
+            f"{s.stores} store(s), hit rate {s.hit_rate:.0%} ({args.cache})"
+        )
+    if args.stats_json:
+        stats = {
+            "n_points": len(results),
+            "n_failed": n_failed,
+            "n_cache_hits": n_hits,
+            "elapsed_seconds": elapsed,
+            "jobs": args.jobs,
+            "cache": cache.stats.as_dict() if cache is not None else None,
+        }
+        with open(args.stats_json, "w") as fh:
+            json.dump(stats, fh, indent=2)
+            fh.write("\n")
+        print(f"stats written to {args.stats_json}")
+    if trace is not None:
+        if args.profile == "-":
+            print()
+            print(trace.to_json())
+        else:
+            trace.write(args.profile)
+            print(f"perf trace written to {args.profile}")
+    return 1 if results and n_failed == len(results) else 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point of the ``merced`` console script; returns the exit code."""
+    if argv is None:
+        argv = sys.argv[1:]
+    argv = list(argv)
+    if argv and argv[0] == "sweep":
+        return sweep_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.list:
         from ..circuits.profiles import TABLE9_PROFILES

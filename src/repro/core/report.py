@@ -13,6 +13,9 @@ __all__ = [
     "render_table9",
     "render_table10_11",
     "render_table12",
+    "render_sweep_lk",
+    "render_sweep_beta",
+    "render_seed_stability",
 ]
 
 
@@ -60,6 +63,106 @@ def render_table10_11(rows: Iterable[PartitionRow], lk: int) -> str:
     ]
     body = [r.as_tuple() for r in rows]
     return f"Partition results for l_k = {lk}\n" + format_table(headers, body)
+
+
+def render_sweep_lk(pairs: Iterable[Tuple[str, object]]) -> str:
+    """The ``l_k`` frontier across circuits (``merced sweep`` output).
+
+    ``pairs`` are ``(circuit, row)`` where ``row`` is an
+    :class:`~repro.core.sweep.LkSweepRow` or a degraded
+    :class:`~repro.core.sweep.SweepErrorRow`; error rows render with
+    dashes and their error type in the status column.
+    """
+    headers = [
+        "Circuit",
+        "l_k",
+        "parts",
+        "nets cut",
+        "cuts on SCC",
+        "cost DFF",
+        "w/ ret (%)",
+        "w/o ret (%)",
+        "status",
+    ]
+    body = []
+    for circuit, r in pairs:
+        if r.ok:
+            body.append(
+                (
+                    circuit,
+                    r.lk,
+                    r.n_partitions,
+                    r.n_cut_nets,
+                    r.n_cut_nets_on_scc,
+                    r.cost_dff,
+                    r.pct_with_retiming,
+                    r.pct_without_retiming,
+                    "ok",
+                )
+            )
+        else:
+            body.append(
+                (circuit, r.lk, "-", "-", "-", "-", "-", "-", r.error_type)
+            )
+    return format_table(headers, body)
+
+
+def render_sweep_beta(pairs: Iterable[Tuple[str, object]]) -> str:
+    """The β budget trade-off across circuits (``merced sweep --beta``)."""
+    headers = [
+        "Circuit",
+        "beta",
+        "nets cut",
+        "cuts on SCC",
+        "max iota",
+        "oversized",
+        "status",
+    ]
+    body = []
+    for circuit, r in pairs:
+        if r.ok:
+            body.append(
+                (
+                    circuit,
+                    r.beta,
+                    r.n_cut_nets,
+                    r.n_cut_nets_on_scc,
+                    r.max_input_count,
+                    r.n_oversized,
+                    "ok",
+                )
+            )
+        else:
+            body.append((circuit, r.beta, "-", "-", "-", "-", r.error_type))
+    return format_table(headers, body)
+
+
+def render_seed_stability(pairs: Iterable[Tuple[str, object]]) -> str:
+    """Seed-spread summary across circuits (``merced sweep --seeds``)."""
+    headers = [
+        "Circuit",
+        "seeds",
+        "cut mean",
+        "cut stdev",
+        "spread",
+        "failed",
+    ]
+    body = []
+    for circuit, st in pairs:
+        if st.cut_counts:
+            body.append(
+                (
+                    circuit,
+                    len(st.seeds),
+                    st.cut_mean,
+                    st.cut_stdev,
+                    round(st.cut_spread, 3),
+                    len(st.failures),
+                )
+            )
+        else:
+            body.append((circuit, 0, "-", "-", "-", len(st.failures)))
+    return format_table(headers, body)
 
 
 def render_table12(

@@ -5,31 +5,98 @@ the ``l_k`` testing-time/area frontier (§2.4, Figure 4), the β cut-budget
 trade-off (§4.1), and seed stability of the randomized flow process
 (§3.3's variance discussion).  Each sweep returns plain row dataclasses
 that the report renderer can tabulate.
+
+Every sweep executes through a :class:`repro.exec.SweepFarm`: pass one
+(e.g. ``SweepFarm(jobs=4, cache=ResultCache("~/.merced-cache"))``) to
+shard the grid across worker processes and reuse cached points, or pass
+nothing to get the default inline farm — same code path, bit-identical
+results, no processes spawned.  Points that fail (infeasible ``l_k``,
+worker death, timeout) come back as degraded :class:`SweepErrorRow`
+entries instead of sinking the whole sweep.
 """
 
 from __future__ import annotations
 
 import statistics
-from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..config import MercedConfig
-from ..errors import InfeasiblePartitionError
-from ..graphs.build import build_circuit_graph
-from ..graphs.scc import SCCIndex
+from ..exec.pool import SweepFarm
+from ..exec.task import SweepPoint, TaskResult
+from ..netlist.bench import write_bench
 from ..netlist.netlist import Netlist
-from ..partition.assign_cbit import assign_cbit
-from ..partition.make_group import make_group
-from .merced import Merced
 
 __all__ = [
+    "SweepErrorRow",
     "LkSweepRow",
     "sweep_lk",
+    "lk_row_from_result",
     "BetaSweepRow",
     "sweep_beta",
+    "beta_row_from_result",
     "SeedStability",
     "seed_stability",
+    "stability_from_results",
 ]
+
+
+@dataclass(frozen=True)
+class SweepErrorRow:
+    """Degraded stand-in for a sweep point that failed permanently.
+
+    Attributes:
+        circuit: benchmark the point belonged to.
+        kind: the task kind that failed (``"merced"``, ``"beta"``, ...).
+        params: the identifying sweep coordinates (``{"lk": 16}``,
+            ``{"beta": 5}``, ``{"seed": 3}``).
+        error: stringified final exception.
+        error_type: exception class name (``"InfeasiblePartitionError"``,
+            ``"SweepTimeoutError"``, ``"BrokenWorker"``, ...).
+        attempts: executions consumed before giving up.
+    """
+
+    circuit: str
+    kind: str
+    params: Tuple[Tuple[str, object], ...]
+    error: str
+    error_type: str
+    attempts: int
+
+    @property
+    def ok(self) -> bool:
+        """Always ``False`` — lets callers filter mixed row lists."""
+        return False
+
+    def param_dict(self) -> Dict[str, object]:
+        """The sweep coordinates as a plain dict."""
+        return dict(self.params)
+
+    @property
+    def lk(self) -> Optional[int]:
+        """The point's ``l_k`` coordinate, when it has one."""
+        return self.param_dict().get("lk")  # type: ignore[return-value]
+
+    @property
+    def beta(self) -> Optional[int]:
+        """The point's β coordinate, when it has one."""
+        return self.param_dict().get("beta")  # type: ignore[return-value]
+
+    @property
+    def seed(self) -> Optional[int]:
+        """The point's seed coordinate, when it has one."""
+        return self.param_dict().get("seed")  # type: ignore[return-value]
+
+
+def _error_row(result: TaskResult, **params) -> SweepErrorRow:
+    return SweepErrorRow(
+        circuit=result.point.circuit,
+        kind=result.point.kind,
+        params=tuple(sorted(params.items())),
+        error=result.error or "",
+        error_type=result.error_type or "Error",
+        attempts=result.attempts,
+    )
 
 
 @dataclass(frozen=True)
@@ -45,6 +112,11 @@ class LkSweepRow:
     pct_without_retiming: float
 
     @property
+    def ok(self) -> bool:
+        """Always ``True`` — the degraded counterpart is ``SweepErrorRow``."""
+        return True
+
+    @property
     def testing_time(self) -> int:
         return 1 << self.lk
 
@@ -53,24 +125,40 @@ def sweep_lk(
     netlist: Netlist,
     lks: Sequence[int],
     config: Optional[MercedConfig] = None,
-) -> List[LkSweepRow]:
-    """Run Merced at each ``l_k`` and collect the frontier."""
+    farm: Optional[SweepFarm] = None,
+) -> List[Union[LkSweepRow, SweepErrorRow]]:
+    """Run Merced at each ``l_k`` and collect the frontier.
+
+    With a parallel ``farm`` the points run concurrently; results are
+    returned in ``lks`` order regardless of completion order, and a
+    failing point yields a :class:`SweepErrorRow` in its slot.
+    """
     base = config or MercedConfig()
-    rows: List[LkSweepRow] = []
-    for lk in lks:
-        report = Merced(base.with_lk(lk)).run(netlist.copy())
-        rows.append(
-            LkSweepRow(
-                lk=lk,
-                n_partitions=report.n_partitions,
-                n_cut_nets=report.area.n_cut_nets,
-                n_cut_nets_on_scc=report.area.n_cut_nets_on_scc,
-                cost_dff=report.cost_dff,
-                pct_with_retiming=report.area.pct_with_retiming,
-                pct_without_retiming=report.area.pct_without_retiming,
-            )
-        )
-    return rows
+    bench = write_bench(netlist)
+    points = [
+        SweepPoint("merced", netlist.name, bench=bench, config=base.with_lk(lk))
+        for lk in lks
+    ]
+    results = (farm or SweepFarm()).map(points)
+    return [lk_row_from_result(lk, r) for lk, r in zip(lks, results)]
+
+
+def lk_row_from_result(
+    lk: int, result: TaskResult
+) -> Union[LkSweepRow, SweepErrorRow]:
+    """Convert one ``merced``-kind :class:`TaskResult` into a frontier row."""
+    if not result.ok:
+        return _error_row(result, lk=lk)
+    v = result.value
+    return LkSweepRow(
+        lk=lk,
+        n_partitions=v["n_partitions"],
+        n_cut_nets=v["n_cut_nets"],
+        n_cut_nets_on_scc=v["n_cut_nets_on_scc"],
+        cost_dff=v["cost_dff"],
+        pct_with_retiming=v["pct_with_retiming"],
+        pct_without_retiming=v["pct_without_retiming"],
+    )
 
 
 @dataclass(frozen=True)
@@ -84,6 +172,11 @@ class BetaSweepRow:
     n_oversized: int  # clusters exceeding l_k (welded SCCs)
 
     @property
+    def ok(self) -> bool:
+        """Always ``True`` — the degraded counterpart is ``SweepErrorRow``."""
+        return True
+
+    @property
     def feasible(self) -> bool:
         return self.n_oversized == 0
 
@@ -92,36 +185,47 @@ def sweep_beta(
     netlist: Netlist,
     betas: Sequence[int],
     config: Optional[MercedConfig] = None,
-) -> List[BetaSweepRow]:
+    farm: Optional[SweepFarm] = None,
+) -> List[Union[BetaSweepRow, SweepErrorRow]]:
     """Partition at each β without raising on welded (oversized) SCCs."""
     base = config or MercedConfig()
-    rows: List[BetaSweepRow] = []
-    for beta in betas:
-        graph = build_circuit_graph(netlist, with_po_nodes=False)
-        scc = SCCIndex(graph)
-        group = make_group(graph, scc, base.with_beta(beta), strict=False)
-        merged = assign_cbit(group.partition)
-        p = merged.partition
-        oversized = [c for c in p.clusters if c.input_count > base.lk]
-        rows.append(
-            BetaSweepRow(
-                beta=beta,
-                n_cut_nets=len(p.cut_nets()),
-                n_cut_nets_on_scc=len(p.cut_nets_on_scc()),
-                max_input_count=p.max_input_count(),
-                n_oversized=len(oversized),
-            )
-        )
-    return rows
+    bench = write_bench(netlist)
+    points = [
+        SweepPoint("beta", netlist.name, bench=bench, config=base.with_beta(beta))
+        for beta in betas
+    ]
+    results = (farm or SweepFarm()).map(points)
+    return [beta_row_from_result(b, r) for b, r in zip(betas, results)]
+
+
+def beta_row_from_result(
+    beta: int, result: TaskResult
+) -> Union[BetaSweepRow, SweepErrorRow]:
+    """Convert one ``beta``-kind :class:`TaskResult` into a budget row."""
+    if not result.ok:
+        return _error_row(result, beta=beta)
+    v = result.value
+    return BetaSweepRow(
+        beta=beta,
+        n_cut_nets=v["n_cut_nets"],
+        n_cut_nets_on_scc=v["n_cut_nets_on_scc"],
+        max_input_count=v["max_input_count"],
+        n_oversized=v["n_oversized"],
+    )
 
 
 @dataclass(frozen=True)
 class SeedStability:
-    """Spread of the randomized flow partitioner across seeds (§3.3)."""
+    """Spread of the randomized flow partitioner across seeds (§3.3).
+
+    ``failures`` carries degraded rows for seeds whose run failed;
+    the summary statistics cover the successful seeds only.
+    """
 
     seeds: tuple
     cut_counts: tuple
     cost_dffs: tuple
+    failures: Tuple[SweepErrorRow, ...] = field(default=())
 
     @property
     def cut_mean(self) -> float:
@@ -143,17 +247,37 @@ def seed_stability(
     netlist: Netlist,
     seeds: Sequence[int],
     config: Optional[MercedConfig] = None,
+    farm: Optional[SweepFarm] = None,
 ) -> SeedStability:
     """Re-run Merced with different RNG seeds and summarize the spread."""
     base = config or MercedConfig()
+    bench = write_bench(netlist)
+    points = [
+        SweepPoint("merced", netlist.name, bench=bench, config=base.with_seed(s))
+        for s in seeds
+    ]
+    results = (farm or SweepFarm()).map(points)
+    return stability_from_results(seeds, results)
+
+
+def stability_from_results(
+    seeds: Sequence[int], results: Sequence[TaskResult]
+) -> SeedStability:
+    """Summarize per-seed ``merced`` results into a :class:`SeedStability`."""
+    ok_seeds: List[int] = []
     cuts: List[int] = []
     costs: List[float] = []
-    for seed in seeds:
-        report = Merced(base.with_seed(seed)).run(netlist.copy())
-        cuts.append(report.area.n_cut_nets)
-        costs.append(report.cost_dff)
+    failures: List[SweepErrorRow] = []
+    for seed, result in zip(seeds, results):
+        if not result.ok:
+            failures.append(_error_row(result, seed=seed))
+            continue
+        ok_seeds.append(seed)
+        cuts.append(result.value["n_cut_nets"])
+        costs.append(result.value["cost_dff"])
     return SeedStability(
-        seeds=tuple(seeds),
+        seeds=tuple(ok_seeds),
         cut_counts=tuple(cuts),
         cost_dffs=tuple(costs),
+        failures=tuple(failures),
     )

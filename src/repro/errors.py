@@ -61,3 +61,17 @@ class SimulationError(ReproError):
 
 class ConfigError(ReproError):
     """Invalid Merced configuration parameter."""
+
+
+class SweepError(ReproError):
+    """A sweep point failed permanently (after the farm's retries).
+
+    Sweeps never *raise* this for individual points — failed points
+    surface as degraded :class:`repro.core.sweep.SweepErrorRow` rows so
+    one infeasible or crashing configuration cannot sink a whole grid.
+    It is raised only for farm-level misuse (e.g. unknown task kinds).
+    """
+
+
+class SweepTimeoutError(SweepError):
+    """A sweep task exceeded the farm's per-task wall-clock budget."""

@@ -1,0 +1,147 @@
+"""On-disk result cache for sweep points.
+
+Layout: ``<dir>/<key[:2]>/<key>.json`` — one JSON document per result,
+sharded by the first key byte so directories stay small on big grids.
+Writes are atomic (*write to a temp file in the same directory, then
+``os.replace``*), so a cache shared by concurrent sweeps or killed
+mid-write never yields a torn read; a corrupt or unreadable entry is
+treated as a miss and overwritten on the next store.
+
+Only *successful* payloads are cached: failures must re-execute on the
+next run (the failure may have been transient, and `degraded rows
+should never outlive the sweep that produced them`).
+
+Invalidation is entirely key-side (see :mod:`repro.exec.hashing`): a
+changed netlist, configuration, or code version simply hashes to a new
+key.  Stale entries are garbage, never wrong answers; :meth:`ResultCache.purge`
+drops them wholesale.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+__all__ = ["CacheStats", "ResultCache"]
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/store counters of one :class:`ResultCache` instance."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    errors: int = 0  # unreadable/corrupt entries encountered
+
+    @property
+    def lookups(self) -> int:
+        """Total ``get`` calls."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits per lookup (0.0 when nothing was looked up)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        """Plain-dict view (for ``--stats-json`` and CI gates)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "errors": self.errors,
+            "hit_rate": self.hit_rate,
+        }
+
+
+@dataclass
+class ResultCache:
+    """Directory-backed cache of sweep payloads keyed by content hash.
+
+    Example:
+        >>> import tempfile
+        >>> cache = ResultCache(tempfile.mkdtemp())
+        >>> cache.get("ab" * 32) is None
+        True
+        >>> cache.put("ab" * 32, {"n_cut_nets": 7})
+        >>> cache.get("ab" * 32)
+        {'n_cut_nets': 7}
+        >>> (cache.stats.hits, cache.stats.misses, cache.stats.stores)
+        (1, 1, 1)
+    """
+
+    directory: Union[str, Path]
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def __post_init__(self) -> None:
+        self.directory = Path(self.directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, key: str) -> Path:
+        return Path(self.directory) / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Optional[Dict[str, object]]:
+        """The cached payload for ``key``, or ``None`` on a miss.
+
+        Corrupt/unreadable entries count as misses (and bump
+        ``stats.errors``) rather than raising.
+        """
+        path = self._path(key)
+        try:
+            with open(path) as fh:
+                document = json.load(fh)
+            payload = document["payload"]
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except (OSError, ValueError, KeyError, TypeError):
+            self.stats.errors += 1
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return payload
+
+    def put(self, key: str, payload: Dict[str, object], **meta) -> None:
+        """Atomically store ``payload`` under ``key``.
+
+        ``meta`` (circuit name, kind, ...) is stored alongside for
+        debuggability; only ``payload`` is ever read back.
+        """
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        document = {"key": key, "meta": meta, "payload": payload}
+        fd, tmp = tempfile.mkstemp(
+            dir=str(path.parent), prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(document, fh, sort_keys=True)
+                fh.write("\n")
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.stats.stores += 1
+
+    def __len__(self) -> int:
+        """Number of entries currently on disk."""
+        return sum(1 for _ in Path(self.directory).glob("*/*.json"))
+
+    def purge(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        n = 0
+        for path in Path(self.directory).glob("*/*.json"):
+            try:
+                path.unlink()
+                n += 1
+            except OSError:
+                pass
+        return n

@@ -89,6 +89,30 @@ class PerfTrace:
         """Attach scalar metadata (circuit name, l_k, seed, ...)."""
         self.meta.update(kwargs)
 
+    def merge(self, data: Dict[str, object]) -> None:
+        """Fold another trace's :meth:`to_dict` into this one.
+
+        Stage seconds/call counts and counters accumulate; the other
+        trace's label and metadata are ignored.  This is how the sweep
+        farm aggregates per-worker traces into the parent process's
+        trace, so ``merced sweep --profile`` reports totals across
+        processes.
+
+        Example:
+            >>> a, b = PerfTrace("a"), PerfTrace("b")
+            >>> with b.stage("work"):
+            ...     b.count("widgets", 2)
+            >>> a.merge(b.to_dict())
+            >>> a.counters["widgets"], int(a.stages["work"]["calls"])
+            (2, 1)
+        """
+        for name, slot in data.get("stages", {}).items():
+            mine = self.stages.setdefault(name, {"seconds": 0.0, "calls": 0})
+            mine["seconds"] += float(slot.get("seconds", 0.0))
+            mine["calls"] += int(slot.get("calls", 0))
+        for name, value in data.get("counters", {}).items():
+            self.counters[name] = self.counters.get(name, 0) + int(value)
+
     # ------------------------------------------------------------------
     # reporting
     # ------------------------------------------------------------------

@@ -1,0 +1,178 @@
+"""Unit tests for the on-disk result cache and its content-hash keys.
+
+Covers the three invalidation axes promised by :mod:`repro.exec.hashing`
+(netlist bytes, configuration, code version), the atomic-write contract
+of :class:`repro.exec.cache.ResultCache`, and corrupt-entry tolerance.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro import MercedConfig
+from repro.exec import ResultCache, SweepFarm, SweepPoint, point_key
+from repro.exec import hashing
+
+
+def _point(**overrides) -> SweepPoint:
+    defaults = dict(
+        kind="merced",
+        circuit="s27",
+        bench="INPUT(a)\nb = DFF(a)\nOUTPUT(b)\n",
+        config=MercedConfig(seed=1),
+    )
+    defaults.update(overrides)
+    return SweepPoint(**defaults)
+
+
+# ----------------------------------------------------------------------
+# key derivation / invalidation
+# ----------------------------------------------------------------------
+def test_point_key_is_stable_and_hexdigest():
+    k1 = point_key(_point(), code="c0")
+    k2 = point_key(_point(), code="c0")
+    assert k1 == k2
+    assert len(k1) == 64 and set(k1) <= set("0123456789abcdef")
+
+
+def test_point_key_changes_with_netlist_bytes():
+    base = point_key(_point(), code="c0")
+    edited = point_key(
+        _point(bench="INPUT(a)\nb = NOT(a)\nOUTPUT(b)\n"), code="c0"
+    )
+    assert base != edited
+
+
+def test_point_key_changes_with_any_config_field():
+    base = point_key(_point(), code="c0")
+    assert point_key(_point(config=MercedConfig(seed=2)), code="c0") != base
+    assert (
+        point_key(_point(config=MercedConfig(seed=1).with_lk(20)), code="c0")
+        != base
+    )
+    assert (
+        point_key(
+            _point(config=MercedConfig(seed=1).with_min_visit(9)), code="c0"
+        )
+        != base
+    )
+
+
+def test_point_key_changes_with_params_kind_and_code_version():
+    base = point_key(_point(), code="c0")
+    assert point_key(_point(kind="beta"), code="c0") != base
+    assert (
+        point_key(_point(params=SweepPoint.make_params({"x": 1})), code="c0")
+        != base
+    )
+    assert point_key(_point(), code="c1") != base
+
+
+# ----------------------------------------------------------------------
+# the cache itself
+# ----------------------------------------------------------------------
+def test_cache_roundtrip_and_stats(tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    key = "ab" * 32
+    assert cache.get(key) is None
+    cache.put(key, {"n_cut_nets": 7, "pct": 80.5}, circuit="s27")
+    assert cache.get(key) == {"n_cut_nets": 7, "pct": 80.5}
+    assert (cache.stats.hits, cache.stats.misses, cache.stats.stores) == (
+        1,
+        1,
+        1,
+    )
+    assert cache.stats.hit_rate == 0.5
+    assert len(cache) == 1
+
+
+def test_cache_is_sharded_and_leaves_no_temp_files(tmp_path):
+    cache = ResultCache(tmp_path)
+    key = "cd" * 32
+    cache.put(key, {"v": 1})
+    entry = tmp_path / key[:2] / f"{key}.json"
+    assert entry.exists()
+    leftovers = [p for p in tmp_path.rglob("*") if p.name.startswith(".tmp-")]
+    assert leftovers == []
+    document = json.loads(entry.read_text())
+    assert document["key"] == key
+    assert document["payload"] == {"v": 1}
+
+
+def test_corrupt_entry_is_a_miss_not_an_error(tmp_path):
+    cache = ResultCache(tmp_path)
+    key = "ef" * 32
+    path = Path(tmp_path) / key[:2] / f"{key}.json"
+    path.parent.mkdir(parents=True)
+    path.write_text("{ this is not json")
+    assert cache.get(key) is None
+    assert cache.stats.errors == 1
+    # a well-formed file missing the payload field is equally tolerated
+    path.write_text(json.dumps({"key": key, "meta": {}}))
+    assert cache.get(key) is None
+    assert cache.stats.errors == 2
+    # and a store repairs it
+    cache.put(key, {"v": 2})
+    assert cache.get(key) == {"v": 2}
+
+
+def test_purge_empties_the_cache(tmp_path):
+    cache = ResultCache(tmp_path)
+    for i in range(3):
+        cache.put(f"{i:02d}" + "0" * 62, {"i": i})
+    assert len(cache) == 3
+    assert cache.purge() == 3
+    assert len(cache) == 0
+    assert cache.get("00" + "0" * 62) is None
+
+
+# ----------------------------------------------------------------------
+# farm-level cache behaviour
+# ----------------------------------------------------------------------
+def test_farm_hits_cache_on_second_map(tmp_path):
+    points = [
+        SweepPoint("_echo", "demo", params=SweepPoint.make_params({"x": i}))
+        for i in range(4)
+    ]
+    cold = SweepFarm(cache=ResultCache(tmp_path))
+    first = cold.map(points)
+    assert all(r.ok and not r.cache_hit for r in first)
+    warm = SweepFarm(cache=ResultCache(tmp_path))
+    second = warm.map(points)
+    assert all(r.ok and r.cache_hit and r.attempts == 0 for r in second)
+    assert [r.value for r in second] == [r.value for r in first]
+    assert warm.cache.stats.hits == 4
+    assert warm.cache.stats.misses == 0
+
+
+def test_code_version_change_invalidates_farm_cache(tmp_path, monkeypatch):
+    points = [
+        SweepPoint("_echo", "demo", params=SweepPoint.make_params({"x": 9}))
+    ]
+    monkeypatch.setattr(hashing, "_CODE_VERSION", "a" * 64)
+    farm = SweepFarm(cache=ResultCache(tmp_path))
+    farm.map(points)
+    assert farm.cache.stats.stores == 1
+    # same sources → warm
+    warm = SweepFarm(cache=ResultCache(tmp_path))
+    assert warm.map(points)[0].cache_hit
+    # "edited" sources → every key misses, nothing stale is served
+    monkeypatch.setattr(hashing, "_CODE_VERSION", "b" * 64)
+    stale = SweepFarm(cache=ResultCache(tmp_path))
+    result = stale.map(points)[0]
+    assert not result.cache_hit and result.attempts == 1
+    assert stale.cache.stats.misses == 1
+
+
+def test_failures_are_never_cached(tmp_path):
+    point = SweepPoint(
+        "_raise",
+        "demo",
+        params=SweepPoint.make_params({"message": "transient"}),
+    )
+    farm = SweepFarm(retries=0, cache=ResultCache(tmp_path))
+    result = farm.map([point])[0]
+    assert not result.ok
+    assert farm.cache.stats.stores == 0
+    assert len(farm.cache) == 0

@@ -1,0 +1,84 @@
+"""Determinism of the sweep farm: worker count must not leak into results.
+
+The ISSUE-level contract: ``sweep_lk``/``sweep_beta``/``seed_stability``
+return *bit-identical* rows whether the grid runs inline (``jobs=1``),
+across worker processes (``jobs=4``), or out of a warm on-disk cache —
+because every point carries its own seed and payloads exclude wall-clock
+time.  Checked on a tiny (s27) and a mid-size (s510) benchmark.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import MercedConfig
+from repro.circuits import load_circuit
+from repro.core.sweep import seed_stability, sweep_beta, sweep_lk
+from repro.exec import ResultCache, SweepFarm
+
+#: Same pinned knobs as tests/golden — known-feasible and fast.
+CFG = MercedConfig(seed=1996, min_visit=5)
+LKS = [16, 24]
+BETAS = [1, 5]
+
+
+@pytest.fixture(scope="module", params=["s27", "s510"])
+def netlist(request):
+    return load_circuit(request.param)
+
+
+def test_sweep_lk_identical_across_jobs_and_cache(netlist, tmp_path):
+    serial = sweep_lk(netlist, LKS, config=CFG, farm=SweepFarm(jobs=1))
+    assert all(row.ok for row in serial)
+
+    pooled = sweep_lk(netlist, LKS, config=CFG, farm=SweepFarm(jobs=4))
+    assert pooled == serial
+
+    cache_dir = tmp_path / "cache"
+    cold_farm = SweepFarm(jobs=1, cache=ResultCache(cache_dir))
+    cold = sweep_lk(netlist, LKS, config=CFG, farm=cold_farm)
+    assert cold == serial
+    assert cold_farm.cache.stats.stores == len(LKS)
+
+    warm_farm = SweepFarm(jobs=4, cache=ResultCache(cache_dir))
+    warm = sweep_lk(netlist, LKS, config=CFG, farm=warm_farm)
+    assert warm == serial
+    assert warm_farm.cache.stats.hits == len(LKS)
+    assert warm_farm.cache.stats.misses == 0
+
+
+def test_sweep_beta_identical_across_jobs(netlist):
+    serial = sweep_beta(netlist, BETAS, config=CFG, farm=SweepFarm(jobs=1))
+    pooled = sweep_beta(netlist, BETAS, config=CFG, farm=SweepFarm(jobs=4))
+    assert pooled == serial
+    assert all(row.ok for row in serial)
+
+
+def test_seed_stability_identical_across_jobs():
+    nl = load_circuit("s27")
+    seeds = [1, 2, 3]
+    serial = seed_stability(nl, seeds, config=CFG, farm=SweepFarm(jobs=1))
+    pooled = seed_stability(nl, seeds, config=CFG, farm=SweepFarm(jobs=4))
+    assert pooled == serial
+    assert serial.failures == ()
+    assert serial.seeds == tuple(seeds)
+
+
+def test_raw_payloads_survive_cache_roundtrip_bitwise(tmp_path):
+    """The cached JSON document reproduces the in-memory payload exactly
+    (ints stay ints, floats round-trip via repr)."""
+    from repro.exec import SweepPoint
+    from repro.netlist.bench import write_bench
+
+    nl = load_circuit("s27")
+    point = SweepPoint(
+        "merced", nl.name, bench=write_bench(nl), config=CFG.with_lk(16)
+    )
+    farm = SweepFarm(cache=ResultCache(tmp_path))
+    fresh = farm.map([point])[0]
+    cached = SweepFarm(cache=ResultCache(tmp_path)).map([point])[0]
+    assert cached.cache_hit
+    assert cached.value == fresh.value
+    assert {k: type(v) for k, v in cached.value.items()} == {
+        k: type(v) for k, v in fresh.value.items()
+    }

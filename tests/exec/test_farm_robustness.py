@@ -1,0 +1,156 @@
+"""Failure containment: timeouts, raising tasks, and dying workers.
+
+Uses the fault-injection kinds of :mod:`repro.exec.task` (``_sleep``,
+``_raise``, ``_exit``, ``_echo``) to prove that a sweep *completes* with
+degraded rows — correct ``error_type`` and attempt counts — instead of
+crashing, and that no worker processes outlive ``SweepFarm.map``.
+
+One documented blunt edge is asserted rather than hidden: when a worker
+dies, every concurrently in-flight point burns an attempt too, so mixed
+``_exit`` tests only pin down the dying point's row exactly and allow
+innocent neighbours to have either succeeded or been collateral
+``BrokenWorker`` rows.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+
+from repro.core.sweep import sweep_lk
+from repro.exec import SweepFarm, SweepPoint
+
+
+def _echo(i):
+    return SweepPoint(
+        "_echo", f"echo{i}", params=SweepPoint.make_params({"x": i})
+    )
+
+
+def _assert_no_orphans():
+    deadline = time.monotonic() + 5.0
+    while time.monotonic() < deadline:
+        children = multiprocessing.active_children()  # also reaps zombies
+        if not children:
+            return
+        time.sleep(0.05)
+    raise AssertionError(f"orphaned worker processes: {children}")
+
+
+# ----------------------------------------------------------------------
+# timeouts
+# ----------------------------------------------------------------------
+def test_timeout_degrades_row_inline():
+    point = SweepPoint(
+        "_sleep", "slow", params=SweepPoint.make_params({"seconds": 30.0})
+    )
+    t0 = time.monotonic()
+    result = SweepFarm(jobs=1, timeout=0.2, retries=0).map([point])[0]
+    assert time.monotonic() - t0 < 5.0  # the alarm fired, not the sleep
+    assert not result.ok
+    assert result.error_type == "SweepTimeoutError"
+    assert result.attempts == 1
+    assert "0.2" in result.error and "slow" in result.error
+
+
+def test_timeout_degrades_row_in_pool_and_retries():
+    point = SweepPoint(
+        "_sleep", "slow", params=SweepPoint.make_params({"seconds": 30.0})
+    )
+    results = SweepFarm(jobs=2, timeout=0.2, retries=1).map(
+        [point, _echo(0), _echo(1)]
+    )
+    slow, fast = results[0], results[1:]
+    assert not slow.ok
+    assert slow.error_type == "SweepTimeoutError"
+    assert slow.attempts == 2  # retries + 1, every one timed out
+    assert all(r.ok and r.value == {"x": i} for i, r in enumerate(fast))
+    _assert_no_orphans()
+
+
+# ----------------------------------------------------------------------
+# raising tasks
+# ----------------------------------------------------------------------
+def test_raising_task_degrades_with_retry_count():
+    bad = SweepPoint(
+        "_raise",
+        "bad",
+        params=SweepPoint.make_params({"message": "injected failure"}),
+    )
+    results = SweepFarm(jobs=2, retries=2).map([bad, _echo(0), _echo(1)])
+    assert not results[0].ok
+    assert results[0].error_type == "InfeasiblePartitionError"
+    assert results[0].error == "injected failure"
+    assert results[0].attempts == 3  # retries + 1
+    assert results[1].ok and results[2].ok
+    _assert_no_orphans()
+
+
+def test_unknown_kind_degrades_not_crashes():
+    result = SweepFarm(retries=0).map(
+        [SweepPoint("_no_such_kind", "x")]
+    )[0]
+    assert not result.ok
+    assert result.error_type == "SweepError"
+    assert "_no_such_kind" in result.error
+
+
+# ----------------------------------------------------------------------
+# dying workers
+# ----------------------------------------------------------------------
+def test_dead_worker_becomes_broken_worker_row():
+    point = SweepPoint(
+        "_exit", "crasher", params=SweepPoint.make_params({"code": 1})
+    )
+    farm = SweepFarm(jobs=2, retries=1)
+    result = farm.map([point])[0]
+    assert not result.ok
+    assert result.error_type == "BrokenWorker"
+    assert result.attempts == 2  # retries + 1, pool rebuilt in between
+    # the farm object survives a broken pool: a fresh map still works
+    again = farm.map([_echo(7)])[0]
+    assert again.ok and again.value == {"x": 7}
+    _assert_no_orphans()
+
+
+def test_dead_worker_does_not_sink_neighbours():
+    points = [
+        SweepPoint("_exit", "crasher", params=SweepPoint.make_params({"code": 1}))
+    ] + [_echo(i) for i in range(4)]
+    results = SweepFarm(jobs=2, retries=3).map(points)
+    crasher, rest = results[0], results[1:]
+    assert not crasher.ok and crasher.error_type == "BrokenWorker"
+    # neighbours either completed or were collateral of a pool collapse —
+    # never silently dropped, and the sweep as a whole returned a full
+    # row per point.
+    assert len(results) == len(points)
+    for i, r in enumerate(rest):
+        if r.ok:
+            assert r.value == {"x": i}
+        else:
+            assert r.error_type == "BrokenWorker"
+    assert any(r.ok for r in rest)  # pool recovery actually reran them
+    _assert_no_orphans()
+
+
+# ----------------------------------------------------------------------
+# end to end: a real sweep completes around an injected-infeasible point
+# ----------------------------------------------------------------------
+def test_sweep_lk_completes_with_degraded_rows():
+    from repro import MercedConfig
+    from repro.circuits import load_circuit
+
+    nl = load_circuit("s27")
+    # l_k = 1 cannot host s27's SCC → InfeasiblePartitionError row,
+    # while the feasible points still produce real rows.
+    rows = sweep_lk(
+        nl,
+        [1, 16],
+        config=MercedConfig(seed=1996, min_visit=5),
+        farm=SweepFarm(jobs=1, retries=0),
+    )
+    assert [row.ok for row in rows] == [False, True]
+    bad = rows[0]
+    assert bad.lk == 1
+    assert bad.error_type == "InfeasiblePartitionError"
+    assert bad.attempts == 1
