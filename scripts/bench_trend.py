@@ -1,0 +1,140 @@
+"""Track partition/retiming kernel performance across PRs.
+
+Runs the compiled-kernel partition + retiming workload (the same shape
+as ``benchmarks/bench_partition_kernels.py``) on every default-bundled
+ISCAS circuit and writes ``BENCH_partition.json`` at the repo root:
+per circuit, the wall-clock seconds per stage and the hot-path counter
+totals (``dfs_visits``, ``boundary_pops``, ``bf_relaxations``,
+``gain_evals``, ...).  The JSON is committed as a baseline so future
+PRs can diff both time and *work* — a counter regression flags an
+algorithmic change even when wall clock is noisy on shared runners.
+
+On s5378 the retiming stage runs on a stride-16 subsample of the cut
+set, matching the bench: the reference-equivalent full cut set drives
+hundreds of drop rounds and is not a reasonable trend workload.
+
+Run (writes the baseline in place):
+    PYTHONPATH=src python scripts/bench_trend.py
+    PYTHONPATH=src python scripts/bench_trend.py --out other.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO / "src"))
+
+from repro import MercedConfig  # noqa: E402
+from repro.circuits import load_circuit  # noqa: E402
+from repro.flow.saturate import saturate_network  # noqa: E402
+from repro.graphs import SCCIndex, build_circuit_graph  # noqa: E402
+from repro.partition import assign_cbit, make_group  # noqa: E402
+from repro.perf import profiled, stage  # noqa: E402
+from repro.retiming.solve import solve_cut_retiming  # noqa: E402
+
+OUT = REPO / "BENCH_partition.json"
+
+#: Default bench set (matches benchmarks/conftest.py SMALL + MEDIUM).
+CIRCUITS = [
+    "s510",
+    "s420.1",
+    "s641",
+    "s713",
+    "s820",
+    "s832",
+    "s838.1",
+    "s1423",
+    "s5378",
+]
+
+#: Circuits whose retiming stage runs on a cut subsample (see module
+#: docstring); every other circuit retimes its full cut set.
+RETIMING_CUT_STRIDE = {"s5378": 16}
+
+LK = 16
+SEED = 1996
+
+
+def config_for(name: str) -> MercedConfig:
+    """Size-scaled config, mirroring benchmarks/conftest.bench_config."""
+    stats = load_circuit(name).stats()
+    size = stats.n_dffs + stats.n_gates + stats.n_inverters
+    return MercedConfig(
+        lk=LK,
+        seed=SEED,
+        max_sources=None if size < 800 else 1200,
+        min_visit=20 if size < 800 else 5,
+    )
+
+
+def run_circuit(name: str) -> dict:
+    config = config_for(name)
+    graph = build_circuit_graph(load_circuit(name), with_po_nodes=False)
+    scc_index = SCCIndex(graph)
+    saturate_network(graph, config)  # not timed: this PR's kernels start below
+    stride = RETIMING_CUT_STRIDE.get(name, 1)
+    t0 = time.perf_counter()
+    with profiled(name) as trace:
+        with stage("make_group"):
+            group = make_group(
+                graph, scc_index, config, presaturated=True, strict=False
+            )
+        with stage("assign_cbit"):
+            merged = assign_cbit(group.partition)
+        cuts = merged.partition.cut_nets()[::stride]
+        with stage("retiming"):
+            solution = solve_cut_retiming(graph, cuts)
+    seconds = time.perf_counter() - t0
+    return {
+        "seconds": round(seconds, 4),
+        "stages": {
+            s: round(v["seconds"], 4) for s, v in sorted(trace.stages.items())
+        },
+        "counters": dict(sorted(trace.counters.items())),
+        "n_clusters": len(merged.partition.clusters),
+        "n_cuts_retimed": len(cuts),
+        "retiming_cut_stride": stride,
+        "dropped_cuts": len(solution.dropped_cuts),
+    }
+
+
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", type=Path, default=OUT)
+    parser.add_argument(
+        "--circuits", nargs="*", default=CIRCUITS, metavar="NAME"
+    )
+    args = parser.parse_args(argv)
+    payload = {
+        "_meta": {
+            "workload": "partition+retiming, compiled kernels",
+            "lk": LK,
+            "seed": SEED,
+            "python": platform.python_version(),
+            "note": (
+                "counter totals are deterministic; seconds vary with the "
+                "host — diff counters first"
+            ),
+        },
+        "circuits": {},
+    }
+    for name in args.circuits:
+        result = run_circuit(name)
+        payload["circuits"][name] = result
+        counters = result["counters"]
+        print(
+            f"{name:>10}: {result['seconds']:7.3f}s  "
+            + "  ".join(f"{k}={counters[k]}" for k in sorted(counters))
+        )
+    args.out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.out}")
+
+
+if __name__ == "__main__":
+    main()

@@ -13,6 +13,7 @@ from __future__ import annotations
 import importlib
 import inspect
 import pkgutil
+import re
 from pathlib import Path
 
 import repro
@@ -60,6 +61,32 @@ so any source change invalidates the cache key-side. Results are
 bit-identical at any `--jobs` count and across cache round-trips; the
 sweeps in `repro.core.sweep` (`sweep_lk`, `sweep_beta`,
 `seed_stability`) all accept a `farm=` argument.
+
+## Compiled graph kernels
+
+The hot partition/retiming kernels do not run on the string-keyed
+`CircuitGraph` directly: `repro.graphs.csr.compile_graph(graph)`
+returns a `CompiledGraph` that interns every node and net name to a
+dense integer id (ids follow insertion order, so iterating ids *is*
+iterating the reference ordering) and lays the topology out as CSR
+arrays — out-/in-adjacency per node, sink lists and source per net,
+deduplicated successor rows for Tarjan, plus mirrors of per-net
+distance and kind/boundary flags in flat lists and bytearrays.
+Membership tests use epoch-stamped scratch arrays (`next_epoch()`
+bumps a counter instead of reallocating visited sets), which is what
+lets `Make_Set` re-run its DFS thousands of times without per-split
+set churn. The compiled view is built lazily once per circuit and
+cached on the graph keyed by its `topo_version`: structural mutation
+(`add_node`/`add_net`) invalidates it, while mutable per-net flow
+state does not — kernels refresh distances with `reload_dist()`.
+One `CompiledGraph` is therefore shared by Tarjan SCC, `Make_Group`,
+`Assign_CBIT`, `FlowIndex`, and consecutive sweep points on the same
+circuit; `rebind(graph)` re-targets the arrays at a structurally
+identical graph object without rebuilding. Every compiled kernel is
+bit-identical to its reference counterpart (`make_set_reference`,
+`strongly_connected_components_reference`, `use_compiled=False`
+paths), which the equivalence suites in `tests/graphs/` and
+`tests/partition/` enforce on random and bundled circuits.
 """
 
 
@@ -72,6 +99,14 @@ def first_paragraph(doc: str) -> str:
             break
         lines.append(line.strip())
     return " ".join(lines)
+
+
+def constant_repr(obj) -> str:
+    """Deterministic repr: stable set ordering, no memory addresses."""
+    if isinstance(obj, (set, frozenset)):
+        body = ", ".join(sorted(constant_repr(x) for x in obj))
+        return f"{type(obj).__name__}({{{body}}})"
+    return re.sub(r" at 0x[0-9a-f]+", "", repr(obj))
 
 
 def describe(obj, name: str = "") -> str:
@@ -87,7 +122,7 @@ def describe(obj, name: str = "") -> str:
         except (ValueError, TypeError):
             sig = "(...)"
         return f"`{obj.__name__}{sig}`"
-    return f"constant `{name} = {obj!r}`"
+    return f"constant `{name} = {constant_repr(obj)}`"
 
 
 def iter_modules():

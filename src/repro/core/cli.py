@@ -402,13 +402,23 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                     perf_deactivate()
         if args.retime:
             from ..graphs.build import build_circuit_graph
+            from ..perf import activate as perf_activate
+            from ..perf import deactivate as perf_deactivate
+            from ..perf import stage as perf_stage
             from ..retiming.apply import apply_retiming
             from ..retiming.solve import solve_cut_retiming
 
-            graph = build_circuit_graph(netlist, with_po_nodes=True)
-            solution = solve_cut_retiming(
-                graph, report.partition.cut_nets()
-            )
+            if trace is not None:
+                perf_activate(trace)
+            try:
+                graph = build_circuit_graph(netlist, with_po_nodes=True)
+                with perf_stage("retime"):
+                    solution = solve_cut_retiming(
+                        graph, report.partition.cut_nets()
+                    )
+            finally:
+                if trace is not None:
+                    perf_deactivate()
             retimed = apply_retiming(netlist, solution.retiming.rho)
             print()
             print(

@@ -50,6 +50,8 @@ class Merced:
         netlist: Netlist,
         locked: Optional[Set[str]] = None,
         retimable_method: str = "scc-budget",
+        graph=None,
+        scc_index: Optional[SCCIndex] = None,
     ) -> MercedReport:
         """Run STEPs 1–4 on ``netlist`` and return the full report.
 
@@ -58,6 +60,12 @@ class Merced:
             locked: cell names Merced must not regroup (Table 5 option).
             retimable_method: ``"scc-budget"`` (paper accounting) or
                 ``"solver"`` (exact retiming feasibility).
+            graph: a prebuilt circuit graph of ``netlist`` (built with
+                ``with_po_nodes=False``) to reuse across runs — e.g.
+                consecutive sweep points on the same circuit.  The run
+                resets its flow state, so sharing is safe; the compiled
+                CSR arrays and SCC structure carry over unchanged.
+            scc_index: the matching prebuilt :class:`SCCIndex`.
         """
         netlist.validate()
         trace = current_trace()
@@ -69,10 +77,14 @@ class Merced:
                 seed=self.config.seed,
             )
         t0 = time.perf_counter()
-        with perf_stage("build_graph"):
-            graph = build_circuit_graph(netlist, with_po_nodes=False)  # STEP 1
-        with perf_stage("scc"):
-            scc_index = SCCIndex(graph)  # STEP 2
+        if graph is None:
+            with perf_stage("build_graph"):
+                graph = build_circuit_graph(  # STEP 1
+                    netlist, with_po_nodes=False
+                )
+        if scc_index is None:
+            with perf_stage("scc"):
+                scc_index = SCCIndex(graph)  # STEP 2
         with perf_stage("make_group"):
             group = make_group(  # STEP 3 (Tables 3-7)
                 graph, scc_index, self.config, locked=locked

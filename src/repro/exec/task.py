@@ -140,25 +140,57 @@ def merced_payload(report) -> Dict[str, object]:
     }
 
 
-def _run_merced(point: SweepPoint) -> Dict[str, object]:
-    from ..core.merced import Merced
+#: Per-process circuit cache: sha256(bench text) → (netlist, graph,
+#: scc_index).  Sweep grids typically run many points per circuit in the
+#: same worker; parsing, graph construction, SCC analysis, and the
+#: compiled CSR arrays (cached on the graph) all depend only on the
+#: bench text, so they can be shared.  Every run resets the graph's
+#: mutable flow state itself and all per-point results are plain dicts,
+#: so reuse is bit-identical to a fresh build (the determinism suite
+#: covers this).  Bounded FIFO so long multi-circuit sweeps don't hold
+#: every graph alive.  Cache *keys* for the on-disk result cache are
+#: untouched — this only skips redundant in-process work.
+_CIRCUIT_CACHE: Dict[str, Tuple[object, object, object]] = {}
+_CIRCUIT_CACHE_MAX = 8
+
+
+def _circuit_for(point: SweepPoint):
+    """(netlist, graph, scc_index) for a point's bench text, cached."""
+    import hashlib
+
+    from ..graphs.build import build_circuit_graph
+    from ..graphs.scc import SCCIndex
     from ..netlist.bench import parse_bench
 
+    key = hashlib.sha256(
+        (point.circuit + "\0" + point.bench).encode("utf-8")
+    ).hexdigest()
+    hit = _CIRCUIT_CACHE.get(key)
+    if hit is not None:
+        return hit
     netlist = parse_bench(point.bench, name=point.circuit)
-    report = Merced(point.config).run(netlist)
+    graph = build_circuit_graph(netlist, with_po_nodes=False)
+    scc = SCCIndex(graph)
+    entry = (netlist, graph, scc)
+    if len(_CIRCUIT_CACHE) >= _CIRCUIT_CACHE_MAX:
+        _CIRCUIT_CACHE.pop(next(iter(_CIRCUIT_CACHE)))
+    _CIRCUIT_CACHE[key] = entry
+    return entry
+
+
+def _run_merced(point: SweepPoint) -> Dict[str, object]:
+    from ..core.merced import Merced
+
+    netlist, graph, scc = _circuit_for(point)
+    report = Merced(point.config).run(netlist, graph=graph, scc_index=scc)
     return merced_payload(report)
 
 
 def _run_beta(point: SweepPoint) -> Dict[str, object]:
-    from ..graphs.build import build_circuit_graph
-    from ..graphs.scc import SCCIndex
-    from ..netlist.bench import parse_bench
     from ..partition.assign_cbit import assign_cbit
     from ..partition.make_group import make_group
 
-    netlist = parse_bench(point.bench, name=point.circuit)
-    graph = build_circuit_graph(netlist, with_po_nodes=False)
-    scc = SCCIndex(graph)
+    _netlist, graph, scc = _circuit_for(point)
     group = make_group(graph, scc, point.config, strict=False)
     merged = assign_cbit(group.partition)
     p = merged.partition

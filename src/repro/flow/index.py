@@ -24,8 +24,9 @@ this).
 from __future__ import annotations
 
 import heapq
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..graphs.csr import CompiledGraph
 from ..graphs.digraph import CircuitGraph
 from .distance import exp_distance
 
@@ -43,30 +44,66 @@ class FlowIndex:
     The index snapshots net ``removed`` flags at construction (use
     :meth:`reload` after cut-state changes); saturation always runs on an
     uncut graph, so the snapshot is the common case.
+
+    A prebuilt :class:`~repro.graphs.csr.CompiledGraph` of the same graph
+    can be passed to share its interning tables and CSR adjacency —
+    the two layers use the identical id assignment (graph insertion
+    order for both nodes and nets), so ids are interchangeable.
     """
 
-    def __init__(self, graph: CircuitGraph):
+    def __init__(
+        self, graph: CircuitGraph, compiled: Optional[CompiledGraph] = None
+    ):
         self.graph = graph
-        self.node_names: List[str] = list(graph.nodes())
-        self.node_ids: Dict[str, int] = {
-            name: i for i, name in enumerate(self.node_names)
-        }
-        nets = list(graph.nets())
-        self._nets = nets
-        self.net_names: List[str] = [n.name for n in nets]
-        net_ids = {n.name: i for i, n in enumerate(nets)}
-        #: per-node list of (net id, tuple of sink node ids), in the same
-        #: order ``graph.out_net_objects`` yields nets.
-        self.adj: List[List[Tuple[int, Tuple[int, ...]]]] = []
-        for name in self.node_names:
-            row = [
-                (
-                    net_ids[net.name],
-                    tuple(self.node_ids[s] for s in net.sinks),
-                )
-                for net in graph.out_net_objects(name)
-            ]
-            self.adj.append(row)
+        if compiled is not None and compiled.graph is graph:
+            self.node_names = compiled.node_names
+            self.node_ids = compiled.node_id
+            nets = compiled.nets
+            self._nets = nets
+            self.net_names = compiled.net_names
+            # adjacency rows straight off the CSR arrays (same net order
+            # as graph.out_net_objects: both follow graph insertion order)
+            out_start = compiled.out_start
+            out_net_ids = compiled.out_net_ids
+            sink_start = compiled.sink_start
+            sink_ids = compiled.sink_ids
+            self.adj = []
+            for i in range(len(self.node_names)):
+                row = []
+                for p in range(out_start[i], out_start[i + 1]):
+                    ni = out_net_ids[p]
+                    row.append(
+                        (
+                            ni,
+                            tuple(
+                                sink_ids[
+                                    sink_start[ni] : sink_start[ni + 1]
+                                ]
+                            ),
+                        )
+                    )
+                self.adj.append(row)
+        else:
+            self.node_names: List[str] = list(graph.nodes())
+            self.node_ids: Dict[str, int] = {
+                name: i for i, name in enumerate(self.node_names)
+            }
+            nets = list(graph.nets())
+            self._nets = nets
+            self.net_names: List[str] = [n.name for n in nets]
+            net_ids = {n.name: i for i, n in enumerate(nets)}
+            #: per-node list of (net id, tuple of sink node ids), in the
+            #: same order ``graph.out_net_objects`` yields nets.
+            self.adj: List[List[Tuple[int, Tuple[int, ...]]]] = []
+            for name in self.node_names:
+                row = [
+                    (
+                        net_ids[net.name],
+                        tuple(self.node_ids[s] for s in net.sinks),
+                    )
+                    for net in graph.out_net_objects(name)
+                ]
+                self.adj.append(row)
         n_nets = len(nets)
         self.flow: List[float] = [0.0] * n_nets
         self.dist: List[float] = [1.0] * n_nets

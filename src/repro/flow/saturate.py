@@ -76,7 +76,9 @@ def saturate_network(
     config = config or MercedConfig()
     graph.reset_flow_state(cap=config.cap)
     if index is None:
-        index = FlowIndex(graph)
+        from ..graphs.csr import compile_graph
+
+        index = FlowIndex(graph, compiled=compile_graph(graph))
     else:
         index.reload()
     sampler = FairSampler(

@@ -2,7 +2,13 @@
 
 from .digraph import CircuitGraph, Net, NodeKind
 from .build import build_circuit_graph, is_po_node, PO_NODE_PREFIX
-from .scc import SCCIndex, SCCInfo, strongly_connected_components
+from .csr import CompiledGraph, compile_graph
+from .scc import (
+    SCCIndex,
+    SCCInfo,
+    strongly_connected_components,
+    strongly_connected_components_reference,
+)
 from .dijkstra import ShortestPathTree, dijkstra_tree
 from .paths import (
     WeightedEdge,
@@ -19,9 +25,12 @@ __all__ = [
     "build_circuit_graph",
     "is_po_node",
     "PO_NODE_PREFIX",
+    "CompiledGraph",
+    "compile_graph",
     "SCCIndex",
     "SCCInfo",
     "strongly_connected_components",
+    "strongly_connected_components_reference",
     "ShortestPathTree",
     "dijkstra_tree",
     "WeightedEdge",

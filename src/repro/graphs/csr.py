@@ -1,0 +1,234 @@
+"""Compiled CSR view of a :class:`~repro.graphs.digraph.CircuitGraph`.
+
+The partition and retiming kernels downstream of ``Saturate_Network``
+(Tarjan SCC, the modified DFS of ``Make_Set``, ``Make_Group``'s boundary
+selection, ``Assign_CBIT``'s merge-gain scoring) spend most of their time
+chasing string-keyed dict lookups and rebuilding Python sets.
+:class:`CompiledGraph` converts the graph **once** into dense
+integer-indexed arrays:
+
+* node and net names are *interned* to contiguous ids (``node_id`` /
+  ``net_id``), in the graph's own insertion order — the same order
+  :class:`~repro.flow.index.FlowIndex` uses, so the two layers share ids;
+* out-/in-adjacency is stored CSR-style (one flat id array plus an
+  offset array per node), as are per-net sink lists and the deduplicated
+  successor lists that Tarjan traverses;
+* per-node kinds and per-net "free boundary" flags live in bytearrays;
+* per-net congestion distances are mirrored in a flat float list,
+  refreshed from the authoritative ``Net`` objects via
+  :meth:`reload_dist`;
+* *epoch-stamped* scratch arrays (:meth:`next_epoch`) give kernels O(1)
+  set-membership and visited flags without allocating a set per call.
+
+A :class:`CompiledGraph` depends only on the graph's *topology* (nodes,
+nets, kinds) — never on mutable flow state — so one instance is built
+per circuit and reused across every kernel invocation and every sweep
+point that shares the circuit.  :func:`compile_graph` caches the
+instance on the graph and invalidates it when nodes or nets are added.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .digraph import CircuitGraph, Net, NodeKind
+
+__all__ = ["KIND_INPUT", "KIND_REGISTER", "KIND_COMB", "CompiledGraph", "compile_graph"]
+
+#: Integer codes stored in :attr:`CompiledGraph.kind` (one byte per node).
+KIND_INPUT = 0
+KIND_REGISTER = 1
+KIND_COMB = 2
+
+_KIND_CODE = {
+    NodeKind.INPUT: KIND_INPUT,
+    NodeKind.REGISTER: KIND_REGISTER,
+    NodeKind.COMB: KIND_COMB,
+}
+
+
+class CompiledGraph:
+    """Dense integer-id CSR snapshot of a circuit graph's topology.
+
+    Attributes:
+        node_names: id → node name (graph insertion order).
+        node_id: node name → id.
+        net_names: id → net name (graph insertion order, matching
+            ``graph.nets()`` and :class:`~repro.flow.index.FlowIndex`).
+        net_id: net name → id.
+        kind: per-node kind code (``KIND_INPUT``/``KIND_REGISTER``/
+            ``KIND_COMB``) as a bytearray.
+        name_rank: per-node rank of its name in sorted order — sorting
+            ids by ``name_rank`` reproduces ``sorted(names)`` exactly.
+        net_src: per-net source node id.
+        boundary_net: per-net flag — 1 when the source is a PI or DFF
+            (a *permanent free boundary* in Make_Set terms).
+        comb_src: per-net flag — 1 when the source is combinational.
+        sink_start/sink_ids: CSR sink lists per net (fan-out branches in
+            declaration order); ``fanout(i)`` is the sink count.
+        out_start/out_net_ids: CSR net ids sourced at each node.
+        in_start/in_net_ids: CSR net ids with a branch sinking at each
+            node.
+        succ_start/succ_ids: CSR deduplicated successor node ids, in the
+            exact order ``CircuitGraph.successors`` yields them.
+        dist: per-net congestion distance mirror (see
+            :meth:`reload_dist`).
+        nets: id → the live :class:`~repro.graphs.digraph.Net` object
+            (for write-through of distance pins).
+    """
+
+    def __init__(self, graph: CircuitGraph):
+        self.graph = graph
+        self.version = graph.topo_version
+        self.node_names: List[str] = list(graph.nodes())
+        self.node_id: Dict[str, int] = {
+            name: i for i, name in enumerate(self.node_names)
+        }
+        n = len(self.node_names)
+        self.kind = bytearray(n)
+        for i, name in enumerate(self.node_names):
+            self.kind[i] = _KIND_CODE[graph.kind(name)]
+        self.name_rank: List[int] = [0] * n
+        for rank, i in enumerate(
+            sorted(range(n), key=self.node_names.__getitem__)
+        ):
+            self.name_rank[i] = rank
+
+        nets: List[Net] = list(graph.nets())
+        self.nets = nets
+        m = len(nets)
+        self.net_names: List[str] = [net.name for net in nets]
+        self.net_id: Dict[str, int] = {
+            name: i for i, name in enumerate(self.net_names)
+        }
+        node_id = self.node_id
+        self.net_src: List[int] = [node_id[net.source] for net in nets]
+        self.boundary_net = bytearray(m)
+        self.comb_src = bytearray(m)
+        for i, net in enumerate(nets):
+            if self.kind[self.net_src[i]] == KIND_COMB:
+                self.comb_src[i] = 1
+            else:
+                self.boundary_net[i] = 1
+
+        # per-net sinks, CSR
+        self.sink_start: List[int] = [0] * (m + 1)
+        sink_ids: List[int] = []
+        for i, net in enumerate(nets):
+            sink_ids.extend(node_id[s] for s in net.sinks)
+            self.sink_start[i + 1] = len(sink_ids)
+        self.sink_ids = sink_ids
+
+        # per-node out-/in-net lists, CSR (graph insertion order)
+        net_id = self.net_id
+        self.out_start: List[int] = [0] * (n + 1)
+        out_net_ids: List[int] = []
+        self.in_start: List[int] = [0] * (n + 1)
+        in_net_ids: List[int] = []
+        for i, name in enumerate(self.node_names):
+            out_net_ids.extend(
+                net_id[net.name] for net in graph.out_nets(name)
+            )
+            self.out_start[i + 1] = len(out_net_ids)
+            in_net_ids.extend(net_id[net.name] for net in graph.in_nets(name))
+            self.in_start[i + 1] = len(in_net_ids)
+        self.out_net_ids = out_net_ids
+        self.in_net_ids = in_net_ids
+
+        # deduplicated successors, CSR, replicating CircuitGraph.successors
+        self.succ_start: List[int] = [0] * (n + 1)
+        succ_ids: List[int] = []
+        seen = [-1] * n
+        for i in range(n):
+            for p in range(self.out_start[i], self.out_start[i + 1]):
+                net_i = out_net_ids[p]
+                for q in range(self.sink_start[net_i], self.sink_start[net_i + 1]):
+                    s = sink_ids[q]
+                    if seen[s] != i:
+                        seen[s] = i
+                        succ_ids.append(s)
+            self.succ_start[i + 1] = len(succ_ids)
+        self.succ_ids = succ_ids
+
+        #: mutable per-net distance mirror; call :meth:`reload_dist`
+        #: after anything rewrites ``Net.dist`` outside the kernels.
+        self.dist: List[float] = [net.dist for net in nets]
+
+        # epoch-stamped scratch (kernels call next_epoch per invocation)
+        self._epoch = 0
+        self.node_ep: List[int] = [0] * n
+        self.node_ep2: List[int] = [0] * n
+        self.net_ep: List[int] = [0] * m
+
+    # ------------------------------------------------------------------
+    @property
+    def n_nodes(self) -> int:
+        return len(self.node_names)
+
+    @property
+    def n_nets(self) -> int:
+        return len(self.net_names)
+
+    def fanout(self, net_i: int) -> int:
+        """Sink count of net ``net_i``."""
+        return self.sink_start[net_i + 1] - self.sink_start[net_i]
+
+    def next_epoch(self) -> int:
+        """Fresh stamp value for the shared epoch scratch arrays.
+
+        Kernels stamp ``node_ep``/``node_ep2``/``net_ep`` entries with
+        the returned value; a new epoch invalidates every old stamp in
+        O(1), replacing per-call set rebuilds.
+        """
+        self._epoch += 1
+        return self._epoch
+
+    def reload_dist(self) -> None:
+        """Refresh the ``dist`` mirror from the authoritative nets."""
+        dist = self.dist
+        for i, net in enumerate(self.nets):
+            dist[i] = net.dist
+
+    def rebind(self, graph: CircuitGraph) -> None:
+        """Point the compiled arrays at an isomorphic graph instance.
+
+        The new graph must have identical topology (same node and net
+        names in the same insertion order) — e.g. a graph rebuilt from
+        the same ``.bench`` text.  Only the live object references (and
+        the distance mirror) change; every id and CSR array is reused.
+        """
+        node_names = list(graph.nodes())
+        if node_names != self.node_names:
+            raise ValueError(
+                "cannot rebind CompiledGraph: node sets differ"
+            )
+        nets = list(graph.nets())
+        if [n.name for n in nets] != self.net_names:
+            raise ValueError("cannot rebind CompiledGraph: net sets differ")
+        self.graph = graph
+        self.version = graph.topo_version
+        self.nets = nets
+        self.reload_dist()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<CompiledGraph {self.graph.name!r}: {self.n_nodes} nodes, "
+            f"{self.n_nets} nets>"
+        )
+
+
+def compile_graph(graph: CircuitGraph) -> CompiledGraph:
+    """The (cached) :class:`CompiledGraph` of ``graph``.
+
+    Built on first use and stored on the graph instance; invalidated
+    automatically when the graph's topology version changes (nodes or
+    nets added).  Mutable flow state never invalidates the cache — the
+    compiled view holds topology only, plus a distance mirror that
+    kernels refresh explicitly.
+    """
+    cached = getattr(graph, "_compiled", None)
+    if cached is not None and cached.version == graph.topo_version:
+        return cached
+    compiled = CompiledGraph(graph)
+    graph._compiled = compiled
+    return compiled

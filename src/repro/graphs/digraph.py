@@ -78,6 +78,7 @@ class CircuitGraph:
         self._out: Dict[str, List[str]] = {}  # node -> net names it sources
         self._in: Dict[str, List[str]] = {}  # node -> net names feeding it
         self._out_objs: Optional[Dict[str, Tuple[Net, ...]]] = None  # hot-path cache
+        self._topo_version = 0  # bumped on add_node/add_net; see topo_version
 
     # ------------------------------------------------------------------
     # construction
@@ -88,6 +89,7 @@ class CircuitGraph:
         self._kinds[node] = kind
         self._out[node] = []
         self._in[node] = []
+        self._topo_version += 1
 
     def add_net(self, name: str, source: str, sinks: Iterable[str]) -> Net:
         """Add a net ``source -> sinks``; all endpoints must already exist."""
@@ -107,6 +109,7 @@ class CircuitGraph:
         for s in sinks:
             self._in[s].append(name)
         self._out_objs = None
+        self._topo_version += 1
         return net
 
     # ------------------------------------------------------------------
@@ -190,6 +193,15 @@ class CircuitGraph:
                 seen.add(net.source)
                 out.append(net.source)
         return out
+
+    @property
+    def topo_version(self) -> int:
+        """Monotonic counter of topology changes (node/net additions).
+
+        :func:`repro.graphs.csr.compile_graph` keys its per-graph cache
+        on this, so a stale compiled view is never served.
+        """
+        return self._topo_version
 
     @property
     def n_nodes(self) -> int:

@@ -1,7 +1,7 @@
 """Flow-driven input-constraint partitioning (Tables 4–8 of the paper)."""
 
 from .clusters import Cluster, Partition, cluster_input_count, cluster_input_nets
-from .make_set import CutState, make_set
+from .make_set import CutState, make_set, make_set_reference
 from .make_group import MakeGroupResult, make_group
 from .assign_cbit import (
     AssignCBITResult,
@@ -19,6 +19,7 @@ __all__ = [
     "cluster_input_nets",
     "CutState",
     "make_set",
+    "make_set_reference",
     "MakeGroupResult",
     "make_group",
     "AssignCBITResult",

@@ -12,7 +12,14 @@ cut nets the merge removes (Table 8, STEP 3.2.1).
 
 ``ι`` of a merged pair is computed incrementally from the operand input
 sets: a net stays an input unless its combinational source lands inside
-the merged cluster (exact, no re-walk of the graph).
+the merged cluster (exact, no re-walk of the graph).  The compiled
+scorer goes further and never materialises the merged set per candidate:
+``ι(merged) = ι(a) + ι(b) − shared − a_int − b_int`` where *shared* nets
+appear in both input sets and *a_int*/*b_int* are inputs of one operand
+internalised by the other (their comb source lands inside it) — the
+three categories are mutually exclusive, so the count is exact and
+``cuts_removed = a_int + b_int``.  Only the winning merge builds its
+input set (via :func:`merged_input_nets`).
 """
 
 from __future__ import annotations
@@ -22,6 +29,7 @@ import heapq
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
+from ..graphs.csr import compile_graph
 from ..graphs.digraph import CircuitGraph, NodeKind
 from ..perf import count as perf_count
 from .clusters import Cluster, Partition, cluster_input_nets
@@ -115,9 +123,11 @@ def _union_input_count(
 class _WorkingSet:
     """Indexed pool of live clusters during the greedy merge.
 
-    Maintains, per live cluster handle: the cluster itself; a reverse map
-    ``net → handles reading it as an input``; and ``node → handle`` for
-    cut-source lookups.  The candidate set for a merge with ``O`` is
+    Maintains, per live cluster handle: the cluster itself plus its
+    interned input-net and node id lists; a reverse map
+    ``net id → handles reading it as an input``; and a ``node id → handle``
+    owner array for cut-source lookups.  The candidate set for a merge
+    with ``O`` is
 
     * clusters sharing an input net with ``O``,
     * clusters containing the combinational source of one of ``O``'s
@@ -130,9 +140,12 @@ class _WorkingSet:
 
     def __init__(self, graph: CircuitGraph, clusters: Sequence[Cluster]):
         self.graph = graph
+        self.cg = compile_graph(graph)
         self.by_handle: Dict[int, Cluster] = {}
-        self.readers: Dict[str, Set[int]] = {}
-        self.node_owner: Dict[str, int] = {}
+        self.net_ids: Dict[int, List[int]] = {}  # handle -> input net ids
+        self.node_ids: Dict[int, List[int]] = {}  # handle -> member node ids
+        self.readers: Dict[int, Set[int]] = {}  # net id -> reader handles
+        self.node_owner: List[int] = [-1] * self.cg.n_nodes
         self._heap: List[Tuple[int, int]] = []  # (ι, handle), lazy-deleted
         self._next = 0
         for c in clusters:
@@ -142,22 +155,31 @@ class _WorkingSet:
         h = self._next
         self._next += 1
         self.by_handle[h] = cluster
-        for net in cluster.input_nets:
-            self.readers.setdefault(net, set()).add(h)
-        for node in cluster.nodes:
-            self.node_owner[node] = h
+        cg = self.cg
+        net_id = cg.net_id
+        nids = [net_id[n] for n in cluster.input_nets]
+        self.net_ids[h] = nids
+        for ni in nids:
+            self.readers.setdefault(ni, set()).add(h)
+        node_id = cg.node_id
+        ids = [node_id[n] for n in cluster.nodes]
+        self.node_ids[h] = ids
+        owner = self.node_owner
+        for i in ids:
+            owner[i] = h
         heapq.heappush(self._heap, (cluster.input_count, h))
         return h
 
     def remove(self, h: int) -> Cluster:
         cluster = self.by_handle.pop(h)
-        for net in cluster.input_nets:
-            hs = self.readers.get(net)
+        for ni in self.net_ids.pop(h):
+            hs = self.readers.get(ni)
             if hs is not None:
                 hs.discard(h)
-        for node in cluster.nodes:
-            if self.node_owner.get(node) == h:
-                del self.node_owner[node]
+        owner = self.node_owner
+        for i in self.node_ids.pop(h):
+            if owner[i] == h:
+                owner[i] = -1
         return cluster
 
     def pop_largest(self) -> Cluster:
@@ -182,17 +204,31 @@ class _WorkingSet:
         return out
 
     def candidates_for(self, cluster: Cluster) -> List[int]:
+        cg = self.cg
+        net_id = cg.net_id
+        net_src = cg.net_src
+        comb_src = cg.comb_src
+        out_start = cg.out_start
+        out_net_ids = cg.out_net_ids
+        readers = self.readers
+        owner = self.node_owner
         cand: Set[int] = set()
-        for net in cluster.input_nets:
-            cand.update(self.readers.get(net, ()))
-            src = self.graph.net(net).source
-            if self.graph.kind(src) is NodeKind.COMB:
-                owner = self.node_owner.get(src)
-                if owner is not None:
-                    cand.add(owner)
-        for node in cluster.nodes:
-            for net in self.graph.out_net_objects(node):
-                cand.update(self.readers.get(net.name, ()))
+        for name in cluster.input_nets:
+            ni = net_id[name]
+            hs = readers.get(ni)
+            if hs:
+                cand.update(hs)
+            if comb_src[ni]:
+                o = owner[net_src[ni]]
+                if o >= 0:
+                    cand.add(o)
+        node_id = cg.node_id
+        for name in cluster.nodes:
+            i = node_id[name]
+            for p in range(out_start[i], out_start[i + 1]):
+                hs = readers.get(out_net_ids[p])
+                if hs:
+                    cand.update(hs)
         cand.update(self.smallest_handles(8))
         return sorted(cand)
 
@@ -209,6 +245,7 @@ class _WorkingSet:
 def assign_cbit(
     partition: Partition,
     lk: Optional[int] = None,
+    use_compiled: bool = True,
 ) -> AssignCBITResult:
     """Merge ``partition``'s clusters into near-``l_k`` CBIT partitions.
 
@@ -217,7 +254,10 @@ def assign_cbit(
     full; when the remaining clusters jointly fit one CBIT they are lumped
     into the final residual partition.  The best-partner search uses an
     exact indexed candidate set instead of a full O(m²) scan (see
-    :class:`_WorkingSet`).
+    :class:`_WorkingSet`), and by default scores each candidate with the
+    incremental count described in the module docstring
+    (``use_compiled=False`` re-unions input sets via :func:`merge_gain`
+    per candidate; both paths pick identical merges).
 
     Returns:
         An :class:`AssignCBITResult` whose partition satisfies Eq. 5 and
@@ -228,6 +268,7 @@ def assign_cbit(
     graph = partition.graph
     lk = lk or partition.lk
     work = _WorkingSet(graph, partition.clusters)
+    cg = work.cg
     final: List[Cluster] = []
     n_merges = 0
     n_attempts = 0
@@ -249,21 +290,25 @@ def assign_cbit(
 
         current = work.pop_largest()
         while current.input_count < lk and len(work):
-            best: Optional[MergeGain] = None
-            best_h = -1
-            for h in work.candidates_for(current):
-                n_attempts += 1
-                mg = merge_gain(graph, lk, current, work.by_handle[h])
-                if mg.feasible and mg.better_than(best):
-                    best = mg
-                    best_h = h
-            if best is None:
+            if use_compiled:
+                best_h, n_cands = _best_partner_compiled(work, current, lk)
+                n_attempts += n_cands
+            else:
+                best_h = -1
+                best: Optional[MergeGain] = None
+                for h in work.candidates_for(current):
+                    n_attempts += 1
+                    mg = merge_gain(graph, lk, current, work.by_handle[h])
+                    if mg.feasible and mg.better_than(best):
+                        best = mg
+                        best_h = h
+            if best_h < 0:
                 break
             absorbed = work.remove(best_h)
             current = Cluster(
                 cluster_id=current.cluster_id,
                 nodes=current.nodes | absorbed.nodes,
-                input_nets=best.merged_inputs,
+                input_nets=merged_input_nets(graph, current, absorbed),
             )
             n_merges += 1
         final.append(current)
@@ -276,6 +321,7 @@ def assign_cbit(
         graph, final, lk=lk, scc_index=partition.scc_index
     )
     perf_count("merge_attempts", n_attempts)
+    perf_count("gain_evals", n_attempts)
     cost = 0.0
     for c in final:
         c_cost, _ = cbit_cost_for_inputs(c.input_count)
@@ -286,3 +332,62 @@ def assign_cbit(
         n_partitions=len(final),
         n_merges=n_merges,
     )
+
+
+def _best_partner_compiled(
+    work: _WorkingSet, current: Cluster, lk: int
+) -> Tuple[int, int]:
+    """Best feasible merge partner for ``current`` (or -1) + candidates seen.
+
+    Scores every candidate with the incremental ι count (no set unions);
+    identical winner to the :func:`merge_gain` scan: candidates are
+    visited in the same sorted-handle order with the same strict
+    ``(gain, cuts_removed)`` comparison, so ties resolve to the same
+    handle.
+    """
+    cg = work.cg
+    net_id = cg.net_id
+    node_id = cg.node_id
+    net_src = cg.net_src
+    comb_src = cg.comb_src
+    inp_ep = cg.net_ep
+    node_ep = cg.node_ep
+    owner = work.node_owner
+
+    ep = cg.next_epoch()
+    owner_counts: Dict[int, int] = {}
+    for name in current.input_nets:
+        ni = net_id[name]
+        inp_ep[ni] = ep
+        if comb_src[ni]:
+            o = owner[net_src[ni]]
+            if o >= 0:
+                owner_counts[o] = owner_counts.get(o, 0) + 1
+    for name in current.nodes:
+        node_ep[node_id[name]] = ep
+
+    len_a = current.input_count
+    net_ids = work.net_ids
+    best_gain = 0
+    best_cuts = -1
+    best_h = -1
+    cands = work.candidates_for(current)
+    for h in cands:
+        b_nids = net_ids[h]
+        shared = 0
+        b_int = 0
+        for ni in b_nids:
+            if inp_ep[ni] == ep:
+                shared += 1
+            elif comb_src[ni] and node_ep[net_src[ni]] == ep:
+                b_int += 1
+        a_int = owner_counts.get(h, 0)
+        gain = lk - (len_a + len(b_nids) - shared - a_int - b_int)
+        if gain < 0:
+            continue
+        cuts_removed = a_int + b_int
+        if best_h < 0 or (gain, cuts_removed) > (best_gain, best_cuts):
+            best_gain = gain
+            best_cuts = cuts_removed
+            best_h = h
+    return best_h, len(cands)

@@ -19,7 +19,7 @@ Semantics (see DESIGN.md §5 and paper §2.3):
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set
 
 from ..errors import PartitionError
@@ -65,10 +65,11 @@ class Cluster:
     cluster_id: int
     nodes: FrozenSet[str]
     input_nets: FrozenSet[str] = frozenset()
+    #: ι(ϖ), cached at construction — hot sort keys read it constantly
+    input_count: int = field(init=False, compare=False, repr=False)
 
-    @property
-    def input_count(self) -> int:
-        return len(self.input_nets)
+    def __post_init__(self) -> None:
+        self.input_count = len(self.input_nets)
 
     @property
     def size(self) -> int:

@@ -10,20 +10,34 @@ the oversized cluster — each split jumps directly to the highest distance
 still present among the cluster's uncut internal nets.  The net-removal
 *order* (most congested first) is identical; only no-op boundary pops are
 skipped.
+
+The compiled path (default) keeps a lazy max-heap of candidate boundary
+distances per cluster, built fused with the cluster's input-net scan on
+the :class:`~repro.graphs.csr.CompiledGraph` arrays.  Heap entries are
+validated on pop against the cut/forced flags — the only ways a
+candidate can die, since distances are frozen after saturation except for
+budget-exhaustion pinning — so the popped maximum equals the reference
+full rescan (``_next_boundary``) exactly.  ``use_compiled=False`` runs
+the original rescan + set-based ``Make_Set`` for equivalence tests and
+benchmarks.
 """
 
 from __future__ import annotations
 
+import heapq
+
 from dataclasses import dataclass
-from typing import List, Optional, Set
+from typing import Dict, List, Optional, Set, Tuple
 
 from ..config import MercedConfig
 from ..errors import InfeasiblePartitionError
 from ..flow.saturate import SaturationResult, saturate_network
+from ..graphs.csr import KIND_COMB, CompiledGraph, compile_graph
 from ..graphs.digraph import CircuitGraph, NodeKind
 from ..graphs.scc import SCCIndex
+from ..perf import count as perf_count
 from .clusters import Cluster, Partition
-from .make_set import CutState, make_set
+from .make_set import CutState, make_set, make_set_reference
 
 __all__ = ["MakeGroupResult", "make_group"]
 
@@ -66,6 +80,95 @@ def _next_boundary(
     return best
 
 
+def _cluster_with_heap(
+    cg: CompiledGraph, state: CutState, cluster_id: int, names: Set[str]
+) -> Tuple[Cluster, List[Tuple[float, int]]]:
+    """Build a cluster and its boundary-candidate heap in one pass.
+
+    The input-net scan reproduces
+    :func:`~repro.partition.clusters.cluster_input_nets` on ids; the heap
+    holds ``(-dist, net_id)`` for every comb-sourced member net with at
+    least one member sink that is still cut-eligible right now.  Sticky
+    monotonicity of ``cut``/``forced`` (they only grow; distances only
+    change by forcing to 0) makes pop-time validation sufficient.
+    """
+    node_id = cg.node_id
+    kind = cg.kind
+    net_src = cg.net_src
+    in_start = cg.in_start
+    in_net_ids = cg.in_net_ids
+    out_start = cg.out_start
+    out_net_ids = cg.out_net_ids
+    sink_start = cg.sink_start
+    sink_ids = cg.sink_ids
+    node_ep = cg.node_ep
+    net_ep = cg.net_ep
+    cut_b = state.cut_b
+    forced_b = state.forced_b
+    dist = cg.dist
+
+    ids = [node_id[n] for n in names]
+    ep = cg.next_epoch()
+    for i in ids:
+        node_ep[i] = ep
+
+    input_ids: List[int] = []
+    heap: List[Tuple[float, int]] = []
+    for i in ids:
+        if kind[i] != KIND_COMB:
+            continue
+        for p in range(in_start[i], in_start[i + 1]):
+            ni = in_net_ids[p]
+            if net_ep[ni] == ep:
+                continue  # already recorded as an input
+            src = net_src[ni]
+            if kind[src] != KIND_COMB or node_ep[src] != ep:
+                net_ep[ni] = ep
+                input_ids.append(ni)
+        for p in range(out_start[i], out_start[i + 1]):
+            ni = out_net_ids[p]
+            if cut_b[ni] or forced_b[ni]:
+                continue
+            d = dist[ni]
+            if d <= 0.0:
+                continue
+            for q in range(sink_start[ni], sink_start[ni + 1]):
+                if node_ep[sink_ids[q]] == ep:
+                    heap.append((-d, ni))
+                    break
+    heapq.heapify(heap)
+    net_names = cg.net_names
+    cluster = Cluster(
+        cluster_id=cluster_id,
+        nodes=frozenset(names),
+        input_nets=frozenset(net_names[ni] for ni in input_ids),
+    )
+    return cluster, heap
+
+
+def _heap_boundary(
+    state: CutState, heap: List[Tuple[float, int]]
+) -> Tuple[Optional[float], int]:
+    """Pop dead candidates; return (max surviving distance, examined).
+
+    The count covers every candidate looked at — stale entries popped
+    plus the surviving peek — so the ``boundary_pops`` perf counter
+    tracks boundary-query work (one per split at minimum) rather than
+    staying at zero when no candidate happens to be stale.
+    """
+    cut_b = state.cut_b
+    forced_b = state.forced_b
+    pops = 0
+    while heap:
+        d, ni = heap[0]
+        if cut_b[ni] or forced_b[ni]:
+            heapq.heappop(heap)
+            pops += 1
+            continue
+        return -d, pops + 1
+    return None, pops
+
+
 def make_group(
     graph: CircuitGraph,
     scc_index: Optional[SCCIndex] = None,
@@ -73,6 +176,7 @@ def make_group(
     locked: Optional[Set[str]] = None,
     presaturated: bool = False,
     strict: bool = True,
+    use_compiled: bool = True,
 ) -> MakeGroupResult:
     """Partition ``graph`` into clusters with ``ι(ϖ) ≤ l_k``.
 
@@ -88,6 +192,9 @@ def make_group(
             the paper's β-vs-testing-time trade-off means a tight β can
             legitimately force an oversized cluster (it then needs a
             longer-than-2^l_k test or a wider CBIT).
+        use_compiled: run the compiled CSR kernels (default).  ``False``
+            selects the original rescan/set-based path; the two are
+            bit-identical (``tests/partition/test_kernel_equiv.py``).
 
     Returns:
         A :class:`MakeGroupResult`; ``result.partition.clusters`` is sorted
@@ -113,6 +220,8 @@ def make_group(
         saturation = saturate_network(graph, config)
 
     state = CutState(graph, scc_index, config.beta)
+    cg = state.cg
+    _make_set = make_set if use_compiled else make_set_reference
     members = [
         n for n in graph.nodes() if graph.kind(n) is not NodeKind.INPUT
     ]
@@ -121,10 +230,19 @@ def make_group(
     # empty.  Oversized clusters then walk down the distance stack, most
     # congested nets first (Table 4, STEPs 4-5).
     first_boundary = float("inf")
-    groups = make_set(graph, members, first_boundary, state, locked=locked)
-    clusters = [
-        Cluster.from_nodes(i, graph, g) for i, g in enumerate(groups)
-    ]
+    groups = _make_set(graph, members, first_boundary, state, locked=locked)
+    heaps: Dict[int, List[Tuple[float, int]]] = {}
+    boundary_pops = 0
+    if use_compiled:
+        clusters = []
+        for i, g in enumerate(groups):
+            cl, heap = _cluster_with_heap(cg, state, i, g)
+            heaps[i] = heap
+            clusters.append(cl)
+    else:
+        clusters = [
+            Cluster.from_nodes(i, graph, g) for i, g in enumerate(groups)
+        ]
 
     n_splits = 0
     next_id = len(clusters)
@@ -134,20 +252,32 @@ def make_group(
     while work:
         work.sort(key=lambda c: (c.input_count, c.cluster_id))
         big = work.pop()  # largest ι first
-        boundary = _next_boundary(graph, state, set(big.nodes))
+        if use_compiled:
+            boundary, pops = _heap_boundary(state, heaps[big.cluster_id])
+            boundary_pops += pops
+        else:
+            boundary = _next_boundary(graph, state, set(big.nodes))
         if boundary is None:
             infeasible.append(big)
             continue
-        subgroups = make_set(graph, big.nodes, boundary, state, locked=locked)
+        subgroups = _make_set(
+            graph, big.nodes, boundary, state, locked=locked
+        )
         n_splits += 1
         del live[big.cluster_id]
+        heaps.pop(big.cluster_id, None)
         for g in subgroups:
-            cl = Cluster.from_nodes(next_id, graph, g)
+            if use_compiled:
+                cl, heap = _cluster_with_heap(cg, state, next_id, g)
+                heaps[next_id] = heap
+            else:
+                cl = Cluster.from_nodes(next_id, graph, g)
             next_id += 1
             live[cl.cluster_id] = cl
             if cl.input_count > config.lk:
                 work.append(cl)
 
+    perf_count("boundary_pops", boundary_pops)
     final = sorted(
         live.values(), key=lambda c: (-c.input_count, c.cluster_id)
     )

@@ -14,16 +14,24 @@ Deviations from the literal pseudo-code, per DESIGN.md:
   grouping is independent of seed choice;
 * nets sourced by primary inputs or DFFs are *permanent free boundaries*:
   never traversed, never charged as cuts — a register already sits there.
+
+The DFS runs on :class:`~repro.graphs.csr.CompiledGraph` integer arrays
+with epoch-stamped membership/visited flags, so repeated splits of the
+same region never rebuild Python sets.  :func:`make_set_reference` keeps
+the original string-keyed implementation as the equivalence oracle
+(``tests/partition/test_kernel_equiv.py`` holds the two bit-identical).
 """
 
 from __future__ import annotations
 
 from typing import Iterable, List, Optional, Set
 
+from ..graphs.csr import KIND_INPUT, compile_graph
 from ..graphs.digraph import CircuitGraph, Net, NodeKind
 from ..graphs.scc import SCCIndex
+from ..perf import count as perf_count
 
-__all__ = ["CutState", "make_set"]
+__all__ = ["CutState", "make_set", "make_set_reference"]
 
 
 class CutState:
@@ -31,6 +39,8 @@ class CutState:
 
     Tracks the explicit cut registry ``χ``, the per-SCC charge counters
     ``c(λ)`` and the nets pinned traversable after a budget exhaustion.
+    The name sets ``cut``/``forced`` stay authoritative for callers; the
+    parallel per-net-id byte flags are what the compiled kernels test.
     """
 
     def __init__(self, graph: CircuitGraph, scc_index: SCCIndex, beta: int):
@@ -41,11 +51,31 @@ class CutState:
         self.forced: Set[str] = set()
         self.budget_exhaustions = 0
         scc_index.reset_cut_counts()
+        # compiled mirrors -------------------------------------------------
+        cg = compile_graph(graph)
+        self.cg = cg
+        cg.reload_dist()
+        m = cg.n_nets
+        self.cut_b = bytearray(m)
+        self.forced_b = bytearray(m)
+        infos = list(scc_index.sccs())
+        self._scc_infos = infos
+        self._budget = [info.cut_budget(beta) for info in infos]
+        #: per-net SCC index into ``_scc_infos`` (-1 = not on any SCC)
+        self.net_scc: List[int] = [-1] * m
+        for k, info in enumerate(infos):
+            net_id = cg.net_id
+            for name in info.internal_nets:
+                self.net_scc[net_id[name]] = k
 
     # ------------------------------------------------------------------
     def is_boundary_net(self, net: Net) -> bool:
         """True for nets that are free register boundaries (PI/DFF source)."""
         return self.graph.kind(net.source) is not NodeKind.COMB
+
+    def sync_dist(self) -> None:
+        """Refresh the compiled distance mirror from the live nets."""
+        self.cg.reload_dist()
 
     def traversable(self, net: Net, boundary: float) -> bool:
         """Decide (and record) whether DFS may cross ``net``.
@@ -54,29 +84,47 @@ class CutState:
         if its SCC still has budget (or it is not on an SCC); otherwise the
         SCC's remaining nets are pinned traversable.
         """
-        if self.is_boundary_net(net):
+        i = self.cg.net_id[net.name]
+        # callers may rewrite Net.dist between calls; keep the mirror honest
+        self.cg.dist[i] = net.dist
+        return self.traversable_id(i, boundary)
+
+    def traversable_id(self, i: int, boundary: float) -> bool:
+        """Compiled :meth:`traversable` on a net id (mirror assumed fresh)."""
+        cg = self.cg
+        if cg.boundary_net[i]:
             return False  # free boundary: cluster ends here, no cut charged
-        if net.name in self.cut:
+        if self.cut_b[i]:
             return False
-        if net.name in self.forced:
+        if self.forced_b[i]:
             return True
-        if net.dist < boundary or net.dist <= 0.0:
+        d = cg.dist[i]
+        if d < boundary or d <= 0.0:
             return True
-        scc = self.scc_index.scc_of_net(net.name)
-        if scc is None:
-            self.cut.add(net.name)
+        k = self.net_scc[i]
+        if k < 0:
+            self.cut_b[i] = 1
+            self.cut.add(cg.net_names[i])
             return False
-        if scc.cut_count < scc.cut_budget(self.beta):
-            scc.cut_count += 1
-            self.cut.add(net.name)
+        info = self._scc_infos[k]
+        if info.cut_count < self._budget[k]:
+            info.cut_count += 1
+            self.cut_b[i] = 1
+            self.cut.add(cg.net_names[i])
             return False
         # Budget exhausted: pin the SCC's remaining nets traversable
         # (Table 7 STEP 2.1.2.1 sets their distance to an insignificant 0).
         self.budget_exhaustions += 1
-        for name in scc.internal_nets:
-            if name not in self.cut:
+        net_id = cg.net_id
+        dist = cg.dist
+        nets = cg.nets
+        for name in info.internal_nets:
+            j = net_id[name]
+            if not self.cut_b[j]:
+                self.forced_b[j] = 1
                 self.forced.add(name)
-                self.graph.net(name).dist = 0.0
+                dist[j] = 0.0
+                nets[j].dist = 0.0  # write-through: Net.dist is authoritative
         return True
 
     def n_cuts(self) -> int:
@@ -103,8 +151,98 @@ def make_set(
 
     Returns:
         Disjoint node sets (connected components over traversable nets),
-        in discovery order.
+        in discovery order.  Bit-identical to :func:`make_set_reference`
+        (same groups, same order, same cut/forced side effects).
     """
+    if state.cg.graph is not graph:
+        # state compiled against a different graph instance: stay exact
+        return make_set_reference(graph, nodes, boundary, state, locked)
+    locked = locked or set()
+    cg = state.cg
+    state.sync_dist()
+    kind = cg.kind
+    node_id = cg.node_id
+    node_names = cg.node_names
+    name_rank = cg.name_rank
+    out_start = cg.out_start
+    out_net_ids = cg.out_net_ids
+    in_start = cg.in_start
+    in_net_ids = cg.in_net_ids
+    net_src = cg.net_src
+    sink_start = cg.sink_start
+    sink_ids = cg.sink_ids
+    member_ep = cg.node_ep  # stamped = eligible member
+    assigned_ep = cg.node_ep2  # stamped = already claimed by a group
+    ep = cg.next_epoch()
+
+    member_ids: List[int] = []
+    for n in nodes:
+        i = node_id[n]
+        if kind[i] != KIND_INPUT and n not in locked:
+            if member_ep[i] != ep:
+                member_ep[i] = ep
+                member_ids.append(i)
+    # Deterministic seed order: str hashing is salted per process, so raw
+    # set iteration would make cluster numbering (and SCC budget charging
+    # order) vary between runs.  Sorting ids by name rank reproduces
+    # sorted(names) exactly.
+    member_ids.sort(key=name_rank.__getitem__)
+
+    traversable_id = state.traversable_id
+    groups: List[Set[str]] = []
+    visits = 0
+    for seed in member_ids:
+        if assigned_ep[seed] == ep:
+            continue
+        group_ids: List[int] = []
+        stack = [seed]
+        assigned_ep[seed] = ep
+        while stack:
+            node = stack.pop()
+            group_ids.append(node)
+            visits += 1
+            for p in range(out_start[node], out_start[node + 1]):
+                ni = out_net_ids[p]
+                if not traversable_id(ni, boundary):
+                    continue
+                s = net_src[ni]
+                if member_ep[s] == ep and assigned_ep[s] != ep:
+                    assigned_ep[s] = ep
+                    stack.append(s)
+                for q in range(sink_start[ni], sink_start[ni + 1]):
+                    s = sink_ids[q]
+                    if member_ep[s] == ep and assigned_ep[s] != ep:
+                        assigned_ep[s] = ep
+                        stack.append(s)
+            for p in range(in_start[node], in_start[node + 1]):
+                ni = in_net_ids[p]
+                if not traversable_id(ni, boundary):
+                    continue
+                s = net_src[ni]
+                if member_ep[s] == ep and assigned_ep[s] != ep:
+                    assigned_ep[s] = ep
+                    stack.append(s)
+                for q in range(sink_start[ni], sink_start[ni + 1]):
+                    s = sink_ids[q]
+                    if member_ep[s] == ep and assigned_ep[s] != ep:
+                        assigned_ep[s] = ep
+                        stack.append(s)
+        groups.append({node_names[i] for i in group_ids})
+    perf_count("dfs_visits", visits)
+    for node in sorted(locked):
+        if node in set(nodes):
+            groups.append({node})
+    return groups
+
+
+def make_set_reference(
+    graph: CircuitGraph,
+    nodes: Iterable[str],
+    boundary: float,
+    state: CutState,
+    locked: Optional[Set[str]] = None,
+) -> List[Set[str]]:
+    """Original string-keyed ``Make_Set``, kept as the equivalence oracle."""
     locked = locked or set()
     members = {
         n
@@ -113,9 +251,6 @@ def make_set(
     }
     assigned: Set[str] = set()
     groups: List[Set[str]] = []
-    # Deterministic seed order: str hashing is salted per process, so raw
-    # set iteration would make cluster numbering (and SCC budget charging
-    # order) vary between runs.
     for seed in sorted(members):
         if seed in assigned:
             continue

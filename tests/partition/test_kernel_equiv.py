@@ -1,0 +1,111 @@
+"""Compiled vs reference partition/retiming kernels: bit-identity.
+
+Every compiled kernel (epoch-stamped ``Make_Set`` DFS, lazy boundary
+heap, incremental merge-gain scoring, SPFA retiming rounds) claims exact
+equality with its reference counterpart — same clusters in the same
+order, same cut/forced sets, same merge winners under ties, same lags
+and dropped cuts.  These tests run both paths end to end on random
+feedback circuits and bundled benches and compare everything observable.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import load_circuit
+from repro.circuits.generator import generate_circuit
+from repro.circuits.profiles import CircuitProfile
+from repro.config import MercedConfig
+from repro.graphs import SCCIndex, build_circuit_graph
+from repro.partition import assign_cbit, make_group
+from repro.retiming.solve import solve_cut_retiming
+
+
+@st.composite
+def feedback_profiles(draw):
+    n_dffs = draw(st.integers(min_value=1, max_value=6))
+    dffs_on_scc = draw(st.integers(min_value=0, max_value=n_dffs))
+    n_gates = draw(st.integers(min_value=15, max_value=40))
+    n_inv = draw(st.integers(min_value=0, max_value=6))
+    base = 2 * n_gates + n_inv + 10 * n_dffs
+    return CircuitProfile(
+        name=f"keq{draw(st.integers(0, 10**6))}",
+        n_inputs=draw(st.integers(min_value=2, max_value=6)),
+        n_dffs=n_dffs,
+        n_gates=n_gates,
+        n_inverters=n_inv,
+        paper_area=base + draw(st.integers(min_value=0, max_value=10)),
+        dffs_on_scc=dffs_on_scc,
+        n_outputs=draw(st.integers(min_value=1, max_value=3)),
+    )
+
+
+def run_pipeline(netlist, lk, beta, use_compiled):
+    """make_group → assign_cbit → solve_cut_retiming on a fresh graph."""
+    graph = build_circuit_graph(netlist, with_po_nodes=False)
+    scc_index = SCCIndex(graph)
+    config = MercedConfig(seed=1996, lk=lk, beta=beta, min_visit=5)
+    group = make_group(
+        graph, scc_index, config, strict=False, use_compiled=use_compiled
+    )
+    merged = assign_cbit(group.partition, use_compiled=use_compiled)
+    cuts = merged.partition.cut_nets()
+    solution = solve_cut_retiming(graph, cuts, use_compiled=use_compiled)
+    return {
+        "n_splits": group.n_splits,
+        "cut": sorted(group.cut_state.cut),
+        "forced": sorted(group.cut_state.forced),
+        "budget_exhaustions": group.cut_state.budget_exhaustions,
+        "infeasible": [
+            tuple(sorted(c.nodes)) for c in group.infeasible_clusters
+        ],
+        "clusters": [
+            (c.cluster_id, tuple(sorted(c.nodes)), tuple(sorted(c.input_nets)))
+            for c in group.partition.clusters
+        ],
+        "merged": [
+            (c.cluster_id, tuple(sorted(c.nodes)), tuple(sorted(c.input_nets)))
+            for c in merged.partition.clusters
+        ],
+        "cost_dff": merged.cost_dff,
+        "n_merges": merged.n_merges,
+        "cut_nets": cuts,
+        "rho": solution.retiming.rho,
+        "covered": sorted(solution.covered_cuts),
+        "dropped": sorted(solution.dropped_cuts),
+        "iterations": solution.iterations,
+    }
+
+
+def assert_pipelines_identical(netlist, lk, beta):
+    compiled = run_pipeline(netlist, lk, beta, use_compiled=True)
+    reference = run_pipeline(netlist, lk, beta, use_compiled=False)
+    for key in compiled:
+        assert compiled[key] == reference[key], key
+
+
+@given(
+    feedback_profiles(),
+    st.integers(min_value=7, max_value=16),
+    st.integers(min_value=1, max_value=3),
+    st.integers(min_value=0, max_value=99),
+)
+@settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_kernel_equivalence_random(profile, lk, beta, seed):
+    netlist = generate_circuit(profile, seed=seed)
+    assert_pipelines_identical(netlist, lk, beta)
+
+
+@pytest.mark.parametrize("name", ["s27", "s420.1", "s510", "s641"])
+@pytest.mark.parametrize("lk", [8, 16])
+def test_kernel_equivalence_bundled(name, lk):
+    assert_pipelines_identical(load_circuit(name), lk, beta=1)
+
+
+def test_kernel_equivalence_bundled_beta2():
+    # β=2 exercises budget exhaustion + many infeasible retiming rounds
+    assert_pipelines_identical(load_circuit("s641"), lk=16, beta=2)
