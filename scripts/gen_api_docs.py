@@ -87,7 +87,43 @@ bit-identical to its reference counterpart (`make_set_reference`,
 `strongly_connected_components_reference`, `use_compiled=False`
 paths), which the equivalence suites in `tests/graphs/` and
 `tests/partition/` enforce on random and bundled circuits.
+
+## Static analysis
+
+`repro.analysis` is the two-front static diagnostics engine. The
+circuit/DFT linter (`merced lint CIRCUIT|FILE.bench [--lk N] [--beta N]
+[--json] [--suppress RULE[,RULE]] [--min-severity LEVEL]`) runs the full
+rule catalog below over a netlist before any pipeline stage; `Merced.run`
+executes the same catalog as a hard entry gate (error findings abort with
+the rendered report on the exception and machine-readable payloads in
+`exc.lint_diagnostics`; feasibility-class errors — `BUD001`, `BUD003` —
+raise `InfeasiblePartitionError`, structural errors raise
+`AnalysisError`; warnings become perf counters under `--profile`). The
+kernel-invariant linter (`python scripts/lint_kernels.py src/
+[--tests-dir DIR] [--json] [--suppress RULE]`) walks source ASTs for the
+`KRN` rules. Suppress a finding inline with `# lint: disable=RULE`
+(comma-separated ids, or `all`) on the flagged line, per-run with
+`--suppress`, and filter with `--min-severity info|warning|error`.
 """
+
+
+def rule_table() -> str:
+    """Markdown table of every lint rule id, severity and title."""
+    from repro.analysis.kernel_lint import KERNEL_RULES
+    from repro.analysis.rules import rule_catalog
+
+    rows = [
+        "### Lint rule catalog",
+        "",
+        "| Rule | Severity | Title | Paper ref |",
+        "|---|---|---|---|",
+    ]
+    for r in tuple(rule_catalog()) + KERNEL_RULES:
+        rows.append(
+            f"| `{r.rule_id}` | {r.severity} | {r.title} "
+            f"| {r.paper_ref or '—'} |"
+        )
+    return "\n".join(rows)
 
 
 def first_paragraph(doc: str) -> str:
@@ -142,6 +178,9 @@ def main() -> None:
         "*Generated by `scripts/gen_api_docs.py` — do not edit by hand.*",
         "",
         PREAMBLE,
+        "",
+        rule_table(),
+        "",
     ]
     for module in iter_modules():
         public = getattr(module, "__all__", None)

@@ -1,0 +1,26 @@
+#!/usr/bin/env python
+"""Run the codebase kernel-invariant linter (``repro.analysis.kernel_lint``).
+
+Usage::
+
+    python scripts/lint_kernels.py src/
+    python scripts/lint_kernels.py src/repro/partition --json
+
+Checks the determinism/pairing contracts the hot kernels rely on:
+unordered set/dict iteration in hot paths (KRN001), unseeded ``random``
+usage outside ``flow/rng.py`` (KRN002), and the compiled/reference
+implementation pairing contract (KRN003/KRN004).  Exit status 1 when
+any error-severity finding survives.
+"""
+
+import os
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+)
+
+from repro.analysis.kernel_lint import kernel_lint_main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(kernel_lint_main())

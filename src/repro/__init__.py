@@ -14,6 +14,7 @@ Quick start::
 
 from .config import DEFAULT_CONFIG, MercedConfig
 from .errors import (
+    AnalysisError,
     BenchParseError,
     CBITError,
     ConfigError,
@@ -34,6 +35,7 @@ __version__ = "1.0.0"
 __all__ = [
     "DEFAULT_CONFIG",
     "MercedConfig",
+    "AnalysisError",
     "BenchParseError",
     "CBITError",
     "ConfigError",

@@ -1,0 +1,65 @@
+"""Static analysis: circuit/DFT lint rules and kernel-invariant checks.
+
+Two fronts share one diagnostics model (:class:`Diagnostic`,
+:class:`DiagnosticReport`, a pluggable :class:`Rule` registry, text and
+JSON renderers, severity thresholds, per-rule suppression):
+
+* the **circuit linter** (:func:`lint_circuit`, ``merced lint``) runs
+  the ``NET``/``GRF``/``RET``/``BUD``/``SIM`` catalog over a netlist
+  and its cached :class:`~repro.graphs.csr.CompiledGraph` before any
+  pipeline stage — :func:`lint_gate` is the hard gate inside
+  :meth:`repro.core.merced.Merced.run`;
+* the **kernel linter** (:func:`lint_paths`,
+  ``scripts/lint_kernels.py``) walks the source tree's ASTs and
+  enforces the determinism/pairing invariants the compiled kernels
+  rely on (``KRN001``–``KRN004``).
+"""
+
+from .diagnostics import (
+    SEVERITIES,
+    Diagnostic,
+    DiagnosticReport,
+    merge_reports,
+    severity_at_least,
+)
+from .kernel_lint import (
+    HOT_DIRS,
+    KERNEL_RULES,
+    kernel_lint_main,
+    lint_paths,
+    lint_source,
+)
+from .lint import (
+    FEASIBILITY_RULES,
+    lint_bench_file,
+    lint_bench_text,
+    lint_circuit,
+    lint_gate,
+)
+from .precheck import SCCBudgetBound, budget_prechecks, scc_cut_lower_bound
+from .rules import Rule, RuleContext, rule, rule_catalog
+
+__all__ = [
+    "SEVERITIES",
+    "Diagnostic",
+    "DiagnosticReport",
+    "merge_reports",
+    "severity_at_least",
+    "Rule",
+    "RuleContext",
+    "rule",
+    "rule_catalog",
+    "lint_circuit",
+    "lint_gate",
+    "lint_bench_text",
+    "lint_bench_file",
+    "FEASIBILITY_RULES",
+    "SCCBudgetBound",
+    "budget_prechecks",
+    "scc_cut_lower_bound",
+    "HOT_DIRS",
+    "KERNEL_RULES",
+    "kernel_lint_main",
+    "lint_paths",
+    "lint_source",
+]

@@ -8,6 +8,8 @@ Examples::
     merced sweep s27 s510 --lk 16 24 --jobs 4 --cache ~/.merced-cache
     merced sweep s510 --beta 1 5 50 --jobs 2
     merced sweep s27 --seeds 1 2 3 4 5 --stats-json stats.json
+    merced lint s5378 --lk 16 --json
+    merced lint examples/s27.bench --suppress NET004 --min-severity warning
 """
 
 from __future__ import annotations
@@ -23,7 +25,14 @@ from ..config import MercedConfig
 from ..errors import ReproError
 from ..netlist.bench import parse_bench_file
 
-__all__ = ["main", "build_parser", "build_sweep_parser", "sweep_main"]
+__all__ = [
+    "main",
+    "build_parser",
+    "build_sweep_parser",
+    "sweep_main",
+    "build_lint_parser",
+    "lint_main",
+]
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -37,7 +46,8 @@ def build_parser() -> argparse.ArgumentParser:
         ),
         epilog=(
             "Subcommands: 'merced sweep --help' runs parameter grids "
-            "through the parallel execution farm with result caching."
+            "through the parallel execution farm with result caching; "
+            "'merced lint --help' runs the static circuit/DFT linter."
         ),
     )
     parser.add_argument(
@@ -188,6 +198,93 @@ def build_sweep_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def build_lint_parser() -> argparse.ArgumentParser:
+    """Construct the ``merced lint`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="merced lint",
+        description=(
+            "Static circuit/DFT linter: netlist hygiene, combinational "
+            "loops, dangling cones, retiming-legality preconditions "
+            "(Corollary 2) and Eq. 5/6 budget-feasibility prechecks, "
+            "run before any pipeline stage."
+        ),
+        epilog=(
+            "Exit status: 0 clean (or warnings only), 1 when any "
+            "error-severity diagnostic survives filtering."
+        ),
+    )
+    parser.add_argument(
+        "targets",
+        nargs="+",
+        metavar="CIRCUIT|FILE.bench",
+        help="benchmark names and/or ISCAS89 .bench files",
+    )
+    parser.add_argument(
+        "--lk", type=int, default=16, help="CUT input bound l_k"
+    )
+    parser.add_argument(
+        "--beta", type=int, default=50, help="SCC cut budget factor (Eq. 6)"
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit the report(s) as JSON"
+    )
+    parser.add_argument(
+        "--suppress",
+        action="append",
+        default=[],
+        metavar="RULE[,RULE...]",
+        help="drop findings of these rule ids (repeatable)",
+    )
+    parser.add_argument(
+        "--min-severity",
+        choices=["info", "warning", "error"],
+        default="info",
+        help="hide findings below this severity (default: info)",
+    )
+    return parser
+
+
+def lint_main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point of ``merced lint``; returns the exit code."""
+    from ..analysis.lint import lint_bench_file, lint_circuit
+
+    args = build_lint_parser().parse_args(argv)
+    config = MercedConfig(lk=args.lk, beta=args.beta)
+    suppress = [
+        r for chunk in args.suppress for r in chunk.split(",") if r
+    ]
+    reports = []
+    for target in args.targets:
+        try:
+            if target.endswith(".bench"):
+                report = lint_bench_file(
+                    target,
+                    config,
+                    suppress=suppress,
+                    min_severity=args.min_severity,
+                )
+            else:
+                report = lint_circuit(
+                    load_circuit(target),
+                    config,
+                    suppress=suppress,
+                    min_severity=args.min_severity,
+                )
+        except (OSError, ReproError, KeyError) as exc:
+            print(f"error: {target}: {exc}", file=sys.stderr)
+            return 2
+        reports.append(report)
+    if args.json:
+        payload = [r.to_dict() for r in reports]
+        print(json.dumps(payload[0] if len(payload) == 1 else payload, indent=2))
+    else:
+        for i, report in enumerate(reports):
+            if i:
+                print()
+            print(report.render_text())
+    return 1 if any(r.has_errors for r in reports) else 0
+
+
 def sweep_main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point of ``merced sweep``; returns the exit code."""
     args = build_sweep_parser().parse_args(argv)
@@ -314,6 +411,20 @@ def _run_sweep(args) -> int:
             f"{s.stores} store(s), hit rate {s.hit_rate:.0%} ({args.cache})"
         )
     if args.stats_json:
+        failures = [
+            {
+                "circuit": circuit,
+                "mode": mode,
+                "coordinate": coord,
+                "error": result.error,
+                "error_type": result.error_type,
+                "stage": result.stage,
+                "attempts": result.attempts,
+                "diagnostics": list(result.diagnostics or ()),
+            }
+            for (mode, circuit, coord), result in zip(labels, results)
+            if not result.ok
+        ]
         stats = {
             "n_points": len(results),
             "n_failed": n_failed,
@@ -321,6 +432,7 @@ def _run_sweep(args) -> int:
             "elapsed_seconds": elapsed,
             "jobs": args.jobs,
             "cache": cache.stats.as_dict() if cache is not None else None,
+            "failures": failures,
         }
         with open(args.stats_json, "w") as fh:
             json.dump(stats, fh, indent=2)
@@ -343,6 +455,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     argv = list(argv)
     if argv and argv[0] == "sweep":
         return sweep_main(argv[1:])
+    if argv and argv[0] == "lint":
+        return lint_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.list:
         from ..circuits.profiles import TABLE9_PROFILES

@@ -15,7 +15,9 @@ from __future__ import annotations
 import time
 from typing import Optional, Set
 
+from ..analysis.lint import lint_circuit, lint_gate
 from ..cbit.assemble import assemble_cbits
+from ..errors import AnalysisError, NetlistError
 from ..circuits.library import load_circuit
 from ..config import MercedConfig
 from ..graphs.build import build_circuit_graph
@@ -66,8 +68,32 @@ class Merced:
                 resets its flow state, so sharing is safe; the compiled
                 CSR arrays and SCC structure carry over unchanged.
             scc_index: the matching prebuilt :class:`SCCIndex`.
+
+        Raises:
+            AnalysisError: the entry lint gate found structural errors
+                (undriven nets, combinational loops, ...); the rendered
+                report is the message and the raw findings ride on
+                ``exc.lint_diagnostics``.
+            InfeasiblePartitionError: the gate's Eq. 5/6 prechecks prove
+                the ``(l_k, β)`` point infeasible, or ``make_group``
+                discovers it dynamically.
         """
-        netlist.validate()
+        try:
+            netlist.validate()
+        except NetlistError as exc:
+            # Re-diagnose through the linter so the abort carries a
+            # structured report (undriven signals, combinational loops,
+            # empty interface) instead of the first hard check's message.
+            report = lint_circuit(netlist, self.config, locked=locked)
+            if report.has_errors:
+                gate_exc = AnalysisError(
+                    "circuit lint failed:\n" + report.render_text()
+                )
+                gate_exc.lint_diagnostics = [
+                    d.as_dict() for d in report.diagnostics
+                ]
+                raise gate_exc from exc
+            raise
         trace = current_trace()
         if trace is not None:
             trace.set_meta(
@@ -85,6 +111,19 @@ class Merced:
         if scc_index is None:
             with perf_stage("scc"):
                 scc_index = SCCIndex(graph)  # STEP 2
+        with perf_stage("lint"):
+            # Hard gate: structural errors raise AnalysisError,
+            # (l_k, β)-infeasibility raises InfeasiblePartitionError
+            # before any pipeline stage burns time on a doomed point.
+            # Reuses graph/scc_index (and the CompiledGraph cached on
+            # the graph), so no second graph build happens here.
+            lint_gate(
+                netlist,
+                self.config,
+                graph=graph,
+                scc_index=scc_index,
+                locked=locked,
+            )
         with perf_stage("make_group"):
             group = make_group(  # STEP 3 (Tables 3-7)
                 graph, scc_index, self.config, locked=locked

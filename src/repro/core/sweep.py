@@ -54,6 +54,13 @@ class SweepErrorRow:
         error_type: exception class name (``"InfeasiblePartitionError"``,
             ``"SweepTimeoutError"``, ``"BrokenWorker"``, ...).
         attempts: executions consumed before giving up.
+        stage: pipeline stage the failure unwound from (``"lint"``,
+            ``"make_group"``, ...), or ``None`` when unattributable
+            (e.g. a worker crash).
+        diagnostics: lint findings attached to the failure
+            (:meth:`repro.analysis.Diagnostic.as_dict` payloads) —
+            what the circuit looked like to the static analyzer when
+            the point died.  Empty when no lint pass could run.
     """
 
     circuit: str
@@ -62,6 +69,8 @@ class SweepErrorRow:
     error: str
     error_type: str
     attempts: int
+    stage: Optional[str] = None
+    diagnostics: Tuple[Dict[str, str], ...] = ()
 
     @property
     def ok(self) -> bool:
@@ -96,6 +105,8 @@ def _error_row(result: TaskResult, **params) -> SweepErrorRow:
         error=result.error or "",
         error_type=result.error_type or "Error",
         attempts=result.attempts,
+        stage=result.stage,
+        diagnostics=tuple(result.diagnostics or ()),
     )
 
 

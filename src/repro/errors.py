@@ -27,6 +27,18 @@ class BenchParseError(NetlistError):
         super().__init__(message)
 
 
+class AnalysisError(ReproError):
+    """The static circuit linter found error-severity diagnostics.
+
+    Raised by the entry gate in :meth:`repro.core.merced.Merced.run`
+    when structural rules (undriven nets, combinational loops, dangling
+    cones, ...) fail.  The rendered report is the exception message and
+    the raw diagnostics ride along as ``exc.lint_diagnostics`` (a list
+    of :meth:`repro.analysis.Diagnostic.as_dict` payloads) so sweep
+    error rows and ``--stats-json`` stay machine-readable.
+    """
+
+
 class GraphError(ReproError):
     """Problem while building or querying the circuit graph."""
 

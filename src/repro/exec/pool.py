@@ -80,6 +80,9 @@ def _execute_attempt(
     This exact function body runs both inline (``jobs=1``) and in pool
     workers, which is what makes the two modes bit-identical.
     """
+    from ..perf import clear_failed_stage, failed_stage
+
+    clear_failed_stage()
     t0 = time.perf_counter()
     armed = False
     old_handler = None
@@ -115,6 +118,8 @@ def _execute_attempt(
             "ok": False,
             "error": str(exc),
             "error_type": type(exc).__name__,
+            "stage": failed_stage(),
+            "diagnostics": getattr(exc, "lint_diagnostics", None),
             "seconds": time.perf_counter() - t0,
         }
     finally:
@@ -306,12 +311,15 @@ class SweepFarm:
                 seconds=outcome["seconds"],
                 perf=outcome.get("perf"),
             )
+        diagnostics = outcome.get("diagnostics")
         return TaskResult(
             point=point,
             error=outcome["error"],
             error_type=outcome["error_type"],
             attempts=attempts,
             seconds=outcome["seconds"],
+            stage=outcome.get("stage"),
+            diagnostics=tuple(diagnostics) if diagnostics else None,
         )
 
     @staticmethod

@@ -94,6 +94,12 @@ class TaskResult:
         seconds: wall-clock of the successful attempt (0.0 for hits).
         perf: serialized :class:`~repro.perf.PerfTrace` dict collected
             in the worker, or ``None`` when the worker ran untraced.
+        stage: pipeline stage name the failure unwound from (innermost
+            ``repro.perf.stage`` block; ``None`` on success or when the
+            failure hit outside any stage).
+        diagnostics: machine-readable lint findings
+            (:meth:`repro.analysis.Diagnostic.as_dict` payloads)
+            attached to the failure, or ``None``.
     """
 
     point: SweepPoint
@@ -104,6 +110,8 @@ class TaskResult:
     cache_hit: bool = False
     seconds: float = 0.0
     perf: Optional[Dict[str, object]] = None
+    stage: Optional[str] = None
+    diagnostics: Optional[Tuple[Dict[str, str], ...]] = None
 
     @property
     def ok(self) -> bool:
@@ -180,10 +188,39 @@ def _circuit_for(point: SweepPoint):
 
 def _run_merced(point: SweepPoint) -> Dict[str, object]:
     from ..core.merced import Merced
+    from ..errors import ReproError
 
     netlist, graph, scc = _circuit_for(point)
-    report = Merced(point.config).run(netlist, graph=graph, scc_index=scc)
+    try:
+        report = Merced(point.config).run(
+            netlist, graph=graph, scc_index=scc
+        )
+    except ReproError as exc:
+        _attach_lint(exc, point, netlist, graph, scc)
+        raise
     return merced_payload(report)
+
+
+def _attach_lint(exc, point: SweepPoint, netlist, graph, scc) -> None:
+    """Attach pre-lint diagnostics to a failing point's exception.
+
+    The entry gate already stamps ``lint_diagnostics`` on its own
+    aborts; failures from deeper stages get a best-effort lint pass here
+    (reusing the cached netlist/graph/SCC index) so the resulting
+    :class:`~repro.core.sweep.SweepErrorRow` explains the circuit state
+    the stage choked on.  Lint failures never mask the original error.
+    """
+    if hasattr(exc, "lint_diagnostics"):
+        return
+    try:
+        from ..analysis.lint import lint_circuit
+
+        report = lint_circuit(
+            netlist, point.config, graph=graph, scc_index=scc
+        )
+        exc.lint_diagnostics = [d.as_dict() for d in report.diagnostics]
+    except Exception:
+        pass
 
 
 def _run_beta(point: SweepPoint) -> Dict[str, object]:

@@ -3,6 +3,14 @@
 ``lint_netlist`` reports conditions that are suspicious but not fatal —
 dangling cells, unread primary inputs, self-loop DFFs — so benchmark
 generators and netlist transformations can be audited.
+
+Since the :mod:`repro.analysis` subsystem landed, these checks live in
+the shared rule catalog as ``NET001``–``NET004``;
+:func:`lint_netlist` is a thin back-compat wrapper that runs exactly
+those rules and repackages the findings into the original
+:class:`LintReport` dataclass.  New code should call
+:func:`repro.analysis.lint_circuit` directly for the full catalog and
+the structured :class:`~repro.analysis.diagnostics.DiagnosticReport`.
 """
 
 from __future__ import annotations
@@ -13,6 +21,14 @@ from typing import List
 from .netlist import Netlist
 
 __all__ = ["LintReport", "lint_netlist"]
+
+#: Which legacy LintReport bucket each rule id fills.
+_RULE_BUCKETS = {
+    "NET001": "dangling_cells",
+    "NET002": "unread_inputs",
+    "NET003": "self_loop_dffs",
+    "NET004": "constant_candidates",
+}
 
 
 @dataclass
@@ -55,22 +71,20 @@ def lint_netlist(netlist: Netlist) -> LintReport:
       (legal, but they lock to their initial value and defeat testing);
     * *constant candidates* are gates whose inputs are all the same signal
       (e.g. ``XOR(a, a)`` — a structural constant).
+
+    Implemented as rules ``NET001``–``NET004`` of
+    :func:`repro.analysis.lint_circuit`; this wrapper preserves the
+    original return type (signal names per bucket, netlist order).
     """
-    report = LintReport()
-    fan = netlist.fanout_map()
-    out_set = set(netlist.outputs)
-    for cell in netlist.cells():
-        if not fan.get(cell.output) and cell.output not in out_set:
-            report.dangling_cells.append(cell.output)
-        if cell.is_dff and cell.inputs[0] == cell.output:
-            report.self_loop_dffs.append(cell.output)
-        if (
-            not cell.is_dff
-            and len(set(cell.inputs)) == 1
-            and len(cell.inputs) > 1
-        ):
-            report.constant_candidates.append(cell.output)
-    for sig in netlist.inputs:
-        if not fan.get(sig) and sig not in out_set:
-            report.unread_inputs.append(sig)
-    return report
+    # Imported lazily: repro.netlist.__init__ imports this module, and
+    # repro.analysis imports repro.netlist.netlist — a module-level
+    # import here would cycle during package init.
+    from ..analysis.lint import lint_circuit
+
+    report = lint_circuit(
+        netlist, rules=tuple(_RULE_BUCKETS), min_severity="info"
+    )
+    out = LintReport()
+    for diag in report.diagnostics:
+        getattr(out, _RULE_BUCKETS[diag.rule_id]).append(diag.location)
+    return out

@@ -34,7 +34,14 @@ from ..graphs.digraph import CircuitGraph, NodeKind
 from ..perf import count as perf_count
 from .clusters import Cluster, Partition, cluster_input_nets
 
-__all__ = ["MergeGain", "merged_input_nets", "merge_gain", "AssignCBITResult", "assign_cbit"]
+__all__ = [
+    "MergeGain",
+    "merged_input_nets",
+    "merge_gain",
+    "AssignCBITResult",
+    "assign_cbit",
+    "assign_cbit_reference",
+]
 
 
 def merged_input_nets(
@@ -332,6 +339,19 @@ def assign_cbit(
         n_partitions=len(final),
         n_merges=n_merges,
     )
+
+
+def assign_cbit_reference(
+    partition: Partition, lk: Optional[int] = None
+) -> AssignCBITResult:
+    """Reference twin of :func:`assign_cbit`.
+
+    Scores every merge candidate by re-unioning input sets through
+    :func:`merge_gain` instead of the incremental compiled count;
+    both paths pick identical merges (the kernel-equivalence suite
+    asserts bit-identity end to end).
+    """
+    return assign_cbit(partition, lk, use_compiled=False)
 
 
 def _best_partner_compiled(

@@ -3,9 +3,12 @@
 from .trace import (
     PerfTrace,
     activate,
+    clear_failed_stage,
     count,
+    current_stage,
     current_trace,
     deactivate,
+    failed_stage,
     profiled,
     stage,
 )
@@ -13,9 +16,12 @@ from .trace import (
 __all__ = [
     "PerfTrace",
     "activate",
+    "clear_failed_stage",
     "count",
+    "current_stage",
     "current_trace",
     "deactivate",
+    "failed_stage",
     "profiled",
     "stage",
 ]

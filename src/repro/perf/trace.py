@@ -36,7 +36,7 @@ from __future__ import annotations
 import json
 import time
 from contextlib import contextmanager
-from typing import Dict, Iterator, Optional
+from typing import Dict, Iterator, List, Optional
 
 __all__ = [
     "PerfTrace",
@@ -46,6 +46,9 @@ __all__ = [
     "profiled",
     "stage",
     "count",
+    "current_stage",
+    "failed_stage",
+    "clear_failed_stage",
 ]
 
 
@@ -211,15 +214,60 @@ def profiled(label: str = "") -> Iterator[PerfTrace]:
         _ACTIVE = prev
 
 
+#: Stack of currently open stage names (maintained even with no trace
+#: active, so failure attribution works on untraced runs).
+_STAGE_STACK: List[str] = []
+
+#: Innermost stage that was open when the last exception unwound, latched
+#: until :func:`clear_failed_stage`.
+_FAILED_STAGE: Optional[str] = None
+
+
 @contextmanager
 def stage(name: str) -> Iterator[None]:
-    """Time a stage on the active trace; no-op when tracing is off."""
-    trace = _ACTIVE
-    if trace is None:
-        yield
-        return
-    with trace.stage(name):
-        yield
+    """Time a stage on the active trace; no-op when tracing is off.
+
+    Independently of tracing, the stage name is pushed on a module-level
+    stack so an exception escaping the block latches the *innermost*
+    failing stage (readable via :func:`failed_stage`).  The sweep farm
+    uses this to attribute worker failures to a pipeline stage.
+    """
+    global _FAILED_STAGE
+    _STAGE_STACK.append(name)
+    try:
+        trace = _ACTIVE
+        if trace is None:
+            yield
+        else:
+            with trace.stage(name):
+                yield
+    except BaseException:
+        if _FAILED_STAGE is None:
+            _FAILED_STAGE = name
+        raise
+    finally:
+        _STAGE_STACK.pop()
+
+
+def current_stage() -> Optional[str]:
+    """Name of the innermost open :func:`stage` block, or ``None``."""
+    return _STAGE_STACK[-1] if _STAGE_STACK else None
+
+
+def failed_stage() -> Optional[str]:
+    """Innermost stage open when the last exception unwound, if any.
+
+    Latched on the first unwinding :func:`stage` frame and sticky until
+    :func:`clear_failed_stage` — callers clear before the attempt and
+    read after catching, so nested stages report the deepest frame.
+    """
+    return _FAILED_STAGE
+
+
+def clear_failed_stage() -> None:
+    """Reset the latched :func:`failed_stage` value (start of an attempt)."""
+    global _FAILED_STAGE
+    _FAILED_STAGE = None
 
 
 def count(name: str, n: int = 1) -> None:

@@ -42,7 +42,12 @@ from ..graphs.paths import WeightedEdge, register_weighted_edges
 from ..perf import count as perf_count
 from .model import Retiming, retimed_weight
 
-__all__ = ["RetimingSolution", "solve_cut_retiming", "bellman_ford_constraints"]
+__all__ = [
+    "RetimingSolution",
+    "solve_cut_retiming",
+    "solve_cut_retiming_reference",
+    "bellman_ford_constraints",
+]
 
 
 @dataclass
@@ -450,4 +455,27 @@ def solve_cut_retiming(
         covered_cuts=covered,
         dropped_cuts=dropped,
         iterations=iterations,
+    )
+
+
+def solve_cut_retiming_reference(
+    graph: CircuitGraph,
+    cut_nets: Iterable[str],
+    edges: Optional[Sequence[WeightedEdge]] = None,
+    max_iterations: int = 100000,
+    pin_io: bool = False,
+) -> RetimingSolution:
+    """Reference twin of :func:`solve_cut_retiming`.
+
+    Solves every round with the dense :func:`bellman_ford_constraints`
+    instead of the interned SPFA relaxation; results are bit-identical
+    (the kernel-equivalence suite asserts this end to end).
+    """
+    return solve_cut_retiming(
+        graph,
+        cut_nets,
+        edges=edges,
+        max_iterations=max_iterations,
+        pin_io=pin_io,
+        use_compiled=False,
     )

@@ -1,0 +1,114 @@
+"""Failure attribution: stage names and lint diagnostics on error rows.
+
+PR 4 regression net for the ``SweepErrorRow`` opacity fix: a failed
+sweep point must say *which pipeline stage* died and attach the static
+analyzer's view of the circuit, both on the row object and in
+``merced sweep --stats-json`` output.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro import MercedConfig
+from repro.circuits import load_circuit
+from repro.core.cli import sweep_main
+from repro.core.sweep import sweep_lk
+from repro.exec import SweepFarm, SweepPoint
+
+
+def infeasible_row(jobs=1):
+    nl = load_circuit("s27")
+    rows = sweep_lk(
+        nl,
+        [1],
+        config=MercedConfig(seed=1996, min_visit=5),
+        farm=SweepFarm(jobs=jobs, retries=0),
+    )
+    assert not rows[0].ok
+    return rows[0]
+
+
+class TestErrorRowAttribution:
+    def test_stage_and_diagnostics_inline(self):
+        row = infeasible_row(jobs=1)
+        assert row.error_type == "InfeasiblePartitionError"
+        # l_k=1 is caught by the entry lint gate (BUD001), before
+        # make_group ever runs.
+        assert row.stage == "lint"
+        assert row.diagnostics, "lint findings must ride along"
+        assert any(d["rule_id"] == "BUD001" for d in row.diagnostics)
+        for d in row.diagnostics:
+            assert set(d) >= {"rule_id", "severity", "location", "message"}
+
+    def test_stage_and_diagnostics_cross_process(self):
+        # the same attribution must survive pickling from pool workers
+        row = infeasible_row(jobs=2)
+        assert row.stage == "lint"
+        assert any(d["rule_id"] == "BUD001" for d in row.diagnostics)
+
+    def test_fault_injection_rows_have_no_stage(self):
+        result = SweepFarm(retries=0).map(
+            [
+                SweepPoint(
+                    "_raise",
+                    "bad",
+                    params=SweepPoint.make_params({"message": "boom"}),
+                )
+            ]
+        )[0]
+        assert not result.ok
+        assert result.stage is None  # raised outside any perf stage
+        assert result.diagnostics is None
+
+    def test_successful_rows_have_no_stage(self):
+        nl = load_circuit("s27")
+        rows = sweep_lk(
+            nl,
+            [16],
+            config=MercedConfig(seed=1996, min_visit=5),
+            farm=SweepFarm(jobs=1, retries=0),
+        )
+        assert rows[0].ok
+        assert not hasattr(rows[0], "stage")  # LkSweepRow stays lean
+
+
+class TestStatsJsonFailures:
+    def test_failures_listed_with_stage_and_diagnostics(self, tmp_path):
+        stats_path = tmp_path / "stats.json"
+        code = sweep_main(
+            [
+                "s27",
+                "--lk",
+                "1",
+                "16",
+                "--retries",
+                "0",
+                "--stats-json",
+                str(stats_path),
+            ]
+        )
+        assert code == 0  # one point failed, one succeeded
+        stats = json.loads(stats_path.read_text())
+        assert stats["n_failed"] == 1
+        (failure,) = stats["failures"]
+        assert failure["circuit"] == "s27"
+        assert failure["mode"] == "lk"
+        assert failure["coordinate"] == 1
+        assert failure["error_type"] == "InfeasiblePartitionError"
+        assert failure["stage"] == "lint"
+        assert failure["attempts"] == 1
+        assert any(
+            d["rule_id"] == "BUD001" for d in failure["diagnostics"]
+        )
+
+    def test_no_failures_key_is_empty_list(self, tmp_path):
+        stats_path = tmp_path / "stats.json"
+        assert (
+            sweep_main(
+                ["s27", "--lk", "16", "--stats-json", str(stats_path)]
+            )
+            == 0
+        )
+        stats = json.loads(stats_path.read_text())
+        assert stats["failures"] == []

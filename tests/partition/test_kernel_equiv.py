@@ -18,7 +18,8 @@ from repro.circuits.profiles import CircuitProfile
 from repro.config import MercedConfig
 from repro.graphs import SCCIndex, build_circuit_graph
 from repro.partition import assign_cbit, make_group
-from repro.retiming.solve import solve_cut_retiming
+from repro.partition.assign_cbit import assign_cbit_reference
+from repro.retiming.solve import solve_cut_retiming, solve_cut_retiming_reference
 
 
 @st.composite
@@ -48,9 +49,14 @@ def run_pipeline(netlist, lk, beta, use_compiled):
     group = make_group(
         graph, scc_index, config, strict=False, use_compiled=use_compiled
     )
-    merged = assign_cbit(group.partition, use_compiled=use_compiled)
-    cuts = merged.partition.cut_nets()
-    solution = solve_cut_retiming(graph, cuts, use_compiled=use_compiled)
+    if use_compiled:
+        merged = assign_cbit(group.partition)
+        cuts = merged.partition.cut_nets()
+        solution = solve_cut_retiming(graph, cuts)
+    else:
+        merged = assign_cbit_reference(group.partition)
+        cuts = merged.partition.cut_nets()
+        solution = solve_cut_retiming_reference(graph, cuts)
     return {
         "n_splits": group.n_splits,
         "cut": sorted(group.cut_state.cut),

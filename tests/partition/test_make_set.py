@@ -116,6 +116,22 @@ class TestMakeSet:
         )
         assert {"tail"} in groups
 
+    def test_reference_twin_identical(self, s27_graph):
+        from repro.graphs import NodeKind
+        from repro.partition.make_set import make_set_reference
+
+        nodes = [
+            n
+            for n in s27_graph.nodes()
+            if s27_graph.kind(n) is not NodeKind.INPUT
+        ]
+        state1 = CutState(s27_graph, SCCIndex(s27_graph), beta=50)
+        compiled = make_set(s27_graph, nodes, 100.0, state1)
+        state2 = CutState(s27_graph, SCCIndex(s27_graph), beta=50)
+        reference = make_set_reference(s27_graph, nodes, 100.0, state2)
+        assert compiled == reference
+        assert state1.cut == state2.cut
+
     def test_deterministic_grouping(self, s27_graph):
         from repro.graphs import NodeKind
 
