@@ -62,6 +62,28 @@ bit-identical at any `--jobs` count and across cache round-trips; the
 sweeps in `repro.core.sweep` (`sweep_lk`, `sweep_beta`,
 `seed_stability`) all accept a `farm=` argument.
 
+Per-point timeouts are enforced by `repro.exec.watchdog.deadline`:
+`SIGALRM` on the main thread, a timer-driven async-exception watchdog
+on worker threads — so `timeout=` means the same thing in a threaded
+embedder as it does in the CLI, and platforms where neither mechanism
+exists surface a `timeouts_unenforced` counter instead of failing
+silently.
+
+## Compile service
+
+`merced serve` exposes the farm as a long-running HTTP/JSON service
+(`repro.service`, stdlib `asyncio` only): concurrent identical
+submissions are coalesced onto one execution keyed by `point_key`,
+admission is bounded with `429`-style backpressure (`Retry-After`
+included), per-request deadlines are enforced off the main thread by
+the watchdog, `SIGTERM` drains gracefully (finish in-flight, reject new
+with `503`, flush cache temp files), and `GET /metrics` aggregates the
+service counters, `PerfTrace` stage timers, queue depth, `CacheStats`,
+and watchdog stats. `merced submit` is the matching client CLI built on
+`repro.service.ServiceClient`; `ServiceThread` embeds the service in a
+daemon thread for blocking callers. Payloads are bit-identical to
+inline `Merced.run` results.
+
 ## Compiled graph kernels
 
 The hot partition/retiming kernels do not run on the string-keyed

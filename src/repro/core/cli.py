@@ -10,6 +10,8 @@ Examples::
     merced sweep s27 --seeds 1 2 3 4 5 --stats-json stats.json
     merced lint s5378 --lk 16 --json
     merced lint examples/s27.bench --suppress NET004 --min-severity warning
+    merced serve --port 8356 --cache ~/.merced-cache --workers 4
+    merced submit s27 s510 --lk 16 24 --url http://127.0.0.1:8356
 """
 
 from __future__ import annotations
@@ -47,7 +49,9 @@ def build_parser() -> argparse.ArgumentParser:
         epilog=(
             "Subcommands: 'merced sweep --help' runs parameter grids "
             "through the parallel execution farm with result caching; "
-            "'merced lint --help' runs the static circuit/DFT linter."
+            "'merced lint --help' runs the static circuit/DFT linter; "
+            "'merced serve --help' starts the long-running HTTP compile "
+            "service; 'merced submit --help' posts work to it."
         ),
     )
     parser.add_argument(
@@ -457,6 +461,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return sweep_main(argv[1:])
     if argv and argv[0] == "lint":
         return lint_main(argv[1:])
+    if argv and argv[0] == "serve":
+        from ..service.cli import serve_main
+
+        return serve_main(argv[1:])
+    if argv and argv[0] == "submit":
+        from ..service.cli import submit_main
+
+        return submit_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.list:
         from ..circuits.profiles import TABLE9_PROFILES

@@ -17,13 +17,26 @@ class NetlistError(ReproError):
 
 
 class BenchParseError(NetlistError):
-    """An ISCAS89 ``.bench`` file could not be parsed."""
+    """An ISCAS89 ``.bench`` file could not be parsed.
 
-    def __init__(self, message: str, line_no: int = 0, line: str = ""):
+    Carries the failure position — ``source`` (file path or stream
+    label), ``line_no``, and the offending ``line`` text — and is always
+    raised ``from`` the underlying exception (when there is one), so
+    tracebacks keep the original cause instead of swallowing it.
+    """
+
+    def __init__(
+        self, message: str, line_no: int = 0, line: str = "", source: str = ""
+    ):
         self.line_no = line_no
         self.line = line
-        if line_no:
+        self.source = source
+        if source and line_no:
+            message = f"{source}:{line_no}: {message} ({line.strip()!r})"
+        elif line_no:
             message = f"line {line_no}: {message} ({line.strip()!r})"
+        elif source:
+            message = f"{source}: {message}"
         super().__init__(message)
 
 
@@ -86,4 +99,31 @@ class SweepError(ReproError):
 
 
 class SweepTimeoutError(SweepError):
-    """A sweep task exceeded the farm's per-task wall-clock budget."""
+    """A sweep task exceeded the farm's per-task wall-clock budget.
+
+    Enforced by :mod:`repro.exec.watchdog` — via ``SIGALRM`` on the main
+    thread and an async-exception watchdog on worker threads — so the
+    deadline fires no matter which thread runs the attempt.
+    """
+
+
+class ServiceError(ReproError):
+    """Failure in the ``merced serve`` compile service or its client."""
+
+
+class ServiceRejectedError(ServiceError):
+    """The compile service refused a submission (HTTP status != 200).
+
+    Raised by :class:`repro.service.client.ServiceClient` for
+    backpressure rejections (429, with a ``retry_after`` hint in the
+    payload), drain-mode refusals (503), and malformed submissions
+    (400).  The raw response rides along as ``status`` / ``payload``.
+    """
+
+    def __init__(self, status: int, payload=None):
+        self.status = status
+        self.payload = payload if payload is not None else {}
+        detail = ""
+        if isinstance(self.payload, dict) and self.payload.get("error"):
+            detail = f": {self.payload['error']}"
+        super().__init__(f"service rejected request (HTTP {status}){detail}")

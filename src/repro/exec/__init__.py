@@ -12,7 +12,11 @@ infrastructure:
 * :mod:`repro.exec.cache` — an atomic, JSON-per-result on-disk cache;
 * :mod:`repro.exec.pool` — :class:`SweepFarm`, the multiprocess
   executor with per-task timeouts, bounded retries, dead-worker
-  recovery, and deterministic result ordering.
+  recovery, and deterministic result ordering;
+* :mod:`repro.exec.watchdog` — :func:`deadline`, the per-attempt
+  wall-clock enforcer (``SIGALRM`` on the main thread, an
+  async-exception watchdog on worker threads) shared by the farm and
+  the ``merced serve`` compile service.
 
 Results are bit-identical at any worker count (including ``jobs=1``,
 which runs inline without spawning processes) because every point
@@ -21,9 +25,10 @@ submission index, never by completion order.
 """
 
 from .cache import CacheStats, ResultCache
-from .hashing import code_version, config_fingerprint, point_key
+from .hashing import code_version, config_fingerprint, point_key, short_key
 from .pool import FarmPolicy, SweepFarm
-from .task import SweepPoint, TaskResult, run_point
+from .task import SweepPoint, TaskResult, known_kinds, run_point
+from .watchdog import deadline, reset_watchdog_stats, watchdog_stats
 
 __all__ = [
     "CacheStats",
@@ -31,9 +36,14 @@ __all__ = [
     "code_version",
     "config_fingerprint",
     "point_key",
+    "short_key",
     "FarmPolicy",
     "SweepFarm",
     "SweepPoint",
     "TaskResult",
+    "known_kinds",
     "run_point",
+    "deadline",
+    "reset_watchdog_stats",
+    "watchdog_stats",
 ]

@@ -69,6 +69,7 @@ class ResultCache:
         >>> cache.get("ab" * 32) is None
         True
         >>> cache.put("ab" * 32, {"n_cut_nets": 7})
+        True
         >>> cache.get("ab" * 32)
         {'n_cut_nets': 7}
         >>> (cache.stats.hits, cache.stats.misses, cache.stats.stores)
@@ -106,30 +107,42 @@ class ResultCache:
         self.stats.hits += 1
         return payload
 
-    def put(self, key: str, payload: Dict[str, object], **meta) -> None:
-        """Atomically store ``payload`` under ``key``.
+    def put(self, key: str, payload: Dict[str, object], **meta) -> bool:
+        """Atomically store ``payload`` under ``key``; ``True`` on success.
 
         ``meta`` (circuit name, kind, ...) is stored alongside for
         debuggability; only ``payload`` is ever read back.
+
+        A store that fails — unserializable payload, full/read-only
+        disk — returns ``False`` and bumps ``stats.errors`` instead of
+        raising (a cache write must never sink the sweep that produced
+        the result), and the temp file is always unlinked, never
+        orphaned in the shard directory.
         """
         path = self._path(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
         document = {"key": key, "meta": meta, "payload": payload}
-        fd, tmp = tempfile.mkstemp(
-            dir=str(path.parent), prefix=".tmp-", suffix=".json"
-        )
+        tmp = None
         try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(
+                dir=str(path.parent), prefix=".tmp-", suffix=".json"
+            )
             with os.fdopen(fd, "w") as fh:
                 json.dump(document, fh, sort_keys=True)
                 fh.write("\n")
             os.replace(tmp, path)
-        except BaseException:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
+            tmp = None
+        except (OSError, TypeError, ValueError):
+            self.stats.errors += 1
+            return False
+        finally:
+            if tmp is not None:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
         self.stats.stores += 1
+        return True
 
     def __len__(self) -> int:
         """Number of entries currently on disk."""
@@ -139,6 +152,24 @@ class ResultCache:
         """Delete every entry; returns how many were removed."""
         n = 0
         for path in Path(self.directory).glob("*/*.json"):
+            try:
+                path.unlink()
+                n += 1
+            except OSError:
+                pass
+        return n
+
+    def flush(self) -> int:
+        """Remove orphaned ``.tmp-*`` files; returns how many were removed.
+
+        :meth:`put` cleans up after itself, so leftovers only appear
+        when a writer was killed mid-store (e.g. an OOM-killed sweep
+        worker).  The compile service calls this as part of its
+        graceful drain so a SIGTERM never strands temp files in the
+        shard directories.
+        """
+        n = 0
+        for path in Path(self.directory).glob("*/.tmp-*"):
             try:
                 path.unlink()
                 n += 1

@@ -24,7 +24,7 @@ from typing import Dict, Optional
 from ..config import MercedConfig
 from .task import SweepPoint
 
-__all__ = ["code_version", "config_fingerprint", "point_key"]
+__all__ = ["code_version", "config_fingerprint", "point_key", "short_key"]
 
 _CODE_VERSION: Optional[str] = None
 
@@ -75,3 +75,16 @@ def point_key(point: SweepPoint, code: Optional[str] = None) -> str:
     }
     blob = json.dumps(material, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def short_key(key: str, length: int = 12) -> str:
+    """Truncated display form of a :func:`point_key` digest.
+
+    Used in service logs and response payloads where the full 64-char
+    hex digest is noise; 12 hex chars (48 bits) is far beyond any
+    realistic in-flight collision risk.
+
+    >>> short_key("ab" * 32)
+    'abababababab'
+    """
+    return key[:length]

@@ -12,10 +12,11 @@ Failure containment, per point:
 
 * **in-task exception** (e.g. :class:`~repro.errors.InfeasiblePartitionError`)
   — caught in the worker, returned as a failed outcome;
-* **timeout** — the worker arms a ``SIGALRM`` interval timer before
-  running the point and converts the alarm into
-  :class:`~repro.errors.SweepTimeoutError`, so the pool itself stays
-  healthy (no worker is ever killed for being slow);
+* **timeout** — the worker wraps the point in
+  :func:`repro.exec.watchdog.deadline` (``SIGALRM`` on the main thread,
+  an async-exception watchdog on worker threads) and converts the
+  expiry into :class:`~repro.errors.SweepTimeoutError`, so the pool
+  itself stays healthy (no worker is ever killed for being slow);
 * **worker death** (segfault, ``os._exit``, OOM-kill) — surfaces as a
   broken pool; the farm shuts the dead executor down, builds a fresh
   one, and resubmits the affected points.
@@ -35,19 +36,17 @@ the pool at all.
 
 from __future__ import annotations
 
-import signal
-import threading
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
-from ..errors import SweepTimeoutError
 from ..perf import current_trace
 from .cache import ResultCache
 from .hashing import code_version, point_key
 from .task import SweepPoint, TaskResult, run_point
+from .watchdog import deadline
 
 __all__ = ["FarmPolicy", "SweepFarm"]
 
@@ -59,10 +58,11 @@ class FarmPolicy:
     Attributes:
         jobs: worker process count; ``1`` runs inline (no processes).
         timeout: per-task wall-clock budget in seconds (``None`` = no
-            limit).  Enforced inside the worker via ``SIGALRM``, so it
-            only interrupts Python bytecode (which is all this package
-            runs) and only applies when the task runs on a process's
-            main thread.
+            limit).  Enforced inside the worker via
+            :func:`repro.exec.watchdog.deadline` — ``SIGALRM`` on the
+            main thread, an async-exception watchdog on any other
+            thread — so it interrupts Python bytecode (which is all
+            this package runs) no matter where the attempt executes.
         retries: extra attempts after a first failure; every point gets
             ``retries + 1`` attempts before its row degrades.
     """
@@ -84,29 +84,23 @@ def _execute_attempt(
 
     clear_failed_stage()
     t0 = time.perf_counter()
-    armed = False
-    old_handler = None
-    if timeout is not None and threading.current_thread() is threading.main_thread():
-
-        def _on_alarm(signum, frame):
-            raise SweepTimeoutError(
-                f"sweep task exceeded {timeout:g}s "
-                f"({point.kind} on {point.circuit})"
-            )
-
-        old_handler = signal.signal(signal.SIGALRM, _on_alarm)
-        signal.setitimer(signal.ITIMER_REAL, timeout)
-        armed = True
+    message = (
+        ""
+        if timeout is None
+        else f"sweep task exceeded {timeout:g}s "
+        f"({point.kind} on {point.circuit})"
+    )
     try:
         perf = None
-        if traced:
-            from ..perf import profiled
+        with deadline(timeout, message):
+            if traced:
+                from ..perf import profiled
 
-            with profiled(f"{point.kind}:{point.circuit}") as trace:
+                with profiled(f"{point.kind}:{point.circuit}") as trace:
+                    value = run_point(point)
+                perf = trace.to_dict()
+            else:
                 value = run_point(point)
-            perf = trace.to_dict()
-        else:
-            value = run_point(point)
         return {
             "ok": True,
             "value": value,
@@ -122,10 +116,6 @@ def _execute_attempt(
             "diagnostics": getattr(exc, "lint_diagnostics", None),
             "seconds": time.perf_counter() - t0,
         }
-    finally:
-        if armed:
-            signal.setitimer(signal.ITIMER_REAL, 0.0)
-            signal.signal(signal.SIGALRM, old_handler)
 
 
 class SweepFarm:

@@ -24,7 +24,13 @@ Fault-injection kinds (used by the robustness tests and available for
 diagnosing a deployment; all are no-ops for real sweeps):
 
 ``_sleep``
-    Sleep ``params["seconds"]`` — exercises the per-task timeout.
+    Sleep ``params["seconds"]`` — exercises the per-task timeout
+    (main-thread ``SIGALRM`` interrupts the sleep mid-flight).
+``_spin``
+    Busy-loop pure Python bytecode for ``params["seconds"]`` —
+    exercises the per-task timeout on *worker threads*, where the
+    watchdog's async-exception injection lands at bytecode boundaries
+    (a blocking ``time.sleep`` would delay delivery until it returns).
 ``_raise``
     Raise :class:`~repro.errors.InfeasiblePartitionError` with
     ``params["message"]`` — exercises degraded-row handling.
@@ -43,7 +49,13 @@ from typing import Callable, Dict, Mapping, Optional, Tuple
 from ..config import MercedConfig
 from ..errors import InfeasiblePartitionError, SweepError
 
-__all__ = ["SweepPoint", "TaskResult", "run_point", "merced_payload"]
+__all__ = [
+    "SweepPoint",
+    "TaskResult",
+    "run_point",
+    "merced_payload",
+    "known_kinds",
+]
 
 
 @dataclass(frozen=True)
@@ -249,6 +261,18 @@ def _run_sleep(point: SweepPoint) -> Dict[str, object]:
     return {"slept": True}
 
 
+def _run_spin(point: SweepPoint) -> Dict[str, object]:
+    import time
+
+    until = time.perf_counter() + float(
+        point.param_dict().get("seconds", 3600.0)
+    )
+    spins = 0
+    while time.perf_counter() < until:
+        spins += 1
+    return {"spun": True, "spins": spins}
+
+
 def _run_raise(point: SweepPoint) -> Dict[str, object]:
     raise InfeasiblePartitionError(
         str(point.param_dict().get("message", "injected failure"))
@@ -271,10 +295,21 @@ _KINDS: Dict[str, Callable[[SweepPoint], Dict[str, object]]] = {
     "merced": _run_merced,
     "beta": _run_beta,
     "_sleep": _run_sleep,
+    "_spin": _run_spin,
     "_raise": _run_raise,
     "_exit": _run_exit,
     "_echo": _run_echo,
 }
+
+
+def known_kinds() -> Tuple[str, ...]:
+    """The registered task kinds, sorted (public + fault-injection).
+
+    The compile service validates submissions against this before
+    admitting them, so an unknown kind is a clean 400 instead of a
+    degraded row.
+    """
+    return tuple(sorted(_KINDS))
 
 
 def run_point(point: SweepPoint) -> Dict[str, object]:

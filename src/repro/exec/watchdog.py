@@ -1,0 +1,187 @@
+"""Deadline enforcement for sweep attempts — on *and off* the main thread.
+
+Historically the farm armed a ``SIGALRM`` interval timer around every
+attempt, which only works on a process's main thread; when an embedder
+ran the inline farm from a worker thread (as the ``merced serve``
+compile service does for every request), the ``timeout=`` policy became
+a **silent no-op**.  This module closes that hole with a single
+:func:`deadline` context manager, shared by the farm and the service,
+that picks the strongest enforcement mechanism available:
+
+* **main thread** (POSIX): the classic ``SIGALRM`` interval timer — the
+  alarm handler raises :class:`~repro.errors.SweepTimeoutError` in the
+  running frame;
+* **worker threads** (CPython): a daemon :class:`threading.Timer`
+  watchdog that injects :class:`~repro.errors.SweepTimeoutError` into
+  the working thread via ``PyThreadState_SetAsyncExc`` — delivered at
+  the next bytecode boundary, the same granularity ``SIGALRM`` gives
+  pure-Python code (which is all this package runs).  Blocking C calls
+  (e.g. ``time.sleep``) delay delivery until they return;
+* **neither available** (non-CPython without the C API): the deadline
+  genuinely cannot be enforced — instead of silently skipping it, the
+  ``timeouts_unenforced`` counter is bumped (module stats *and* the
+  active :class:`~repro.perf.PerfTrace`) so the gap is observable.
+
+:func:`watchdog_stats` exposes the armed/fired/unenforced counters; the
+service's ``/metrics`` endpoint republishes them.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import signal
+import threading
+from contextlib import contextmanager
+from typing import Dict, Iterator, Optional
+
+from ..errors import SweepTimeoutError
+from ..perf import count
+
+__all__ = ["deadline", "watchdog_stats", "reset_watchdog_stats"]
+
+_STATS_LOCK = threading.Lock()
+_STATS: Dict[str, int] = {
+    "armed_signal": 0,
+    "armed_watchdog": 0,
+    "fired": 0,
+    "timeouts_unenforced": 0,
+}
+
+
+def watchdog_stats() -> Dict[str, int]:
+    """Snapshot of the deadline-enforcement counters (process-wide).
+
+    Keys: ``armed_signal`` (SIGALRM arms), ``armed_watchdog`` (timer
+    arms on non-main threads), ``fired`` (watchdog injections), and
+    ``timeouts_unenforced`` (deadlines that could not be enforced at
+    all — should stay 0 on CPython).
+    """
+    with _STATS_LOCK:
+        return dict(_STATS)
+
+
+def reset_watchdog_stats() -> None:
+    """Zero the counters (used by tests and service restarts)."""
+    with _STATS_LOCK:
+        for key in _STATS:
+            _STATS[key] = 0
+
+
+def _bump(name: str) -> None:
+    with _STATS_LOCK:
+        _STATS[name] = _STATS.get(name, 0) + 1
+
+
+def _async_exc_injector():
+    """The ``PyThreadState_SetAsyncExc`` entry point, or ``None``.
+
+    Resolved lazily so non-CPython runtimes degrade to the
+    ``timeouts_unenforced`` accounting path instead of failing at
+    import time.
+    """
+    pythonapi = getattr(ctypes, "pythonapi", None)
+    if pythonapi is None:
+        return None
+    return getattr(pythonapi, "PyThreadState_SetAsyncExc", None)
+
+
+class _ThreadWatchdog:
+    """One armed deadline for one thread, enforced by async-exc injection.
+
+    A daemon :class:`threading.Timer` fires after ``timeout`` seconds
+    and raises :class:`SweepTimeoutError` *inside* the target thread.
+    :meth:`cancel` disarms it and — when the timer won the race — clears
+    any still-pending injection so a task that finished just under the
+    wire cannot poison unrelated later code on the same thread.
+    """
+
+    def __init__(self, ident: int, timeout: float, injector):
+        self._ident = ident
+        self._injector = injector
+        self._lock = threading.Lock()
+        self._fired = False
+        self._cancelled = False
+        self._timer = threading.Timer(timeout, self._fire)
+        self._timer.daemon = True
+
+    def start(self) -> None:
+        self._timer.start()
+
+    def _fire(self) -> None:
+        with self._lock:
+            if self._cancelled:
+                return
+            self._fired = True
+            _bump("fired")
+            self._injector(
+                ctypes.c_ulong(self._ident), ctypes.py_object(SweepTimeoutError)
+            )
+
+    def cancel(self) -> None:
+        self._timer.cancel()
+        with self._lock:
+            self._cancelled = True
+            if self._fired:
+                # The exception may still be pending delivery (the task
+                # finished between injection and the next bytecode);
+                # NULL clears the thread's pending async exception.
+                self._injector(ctypes.c_ulong(self._ident), None)
+
+
+@contextmanager
+def deadline(timeout: Optional[float], message: str = "") -> Iterator[None]:
+    """Enforce a wall-clock budget on the enclosed block.
+
+    Raises :class:`~repro.errors.SweepTimeoutError` (with ``message``)
+    when the block runs longer than ``timeout`` seconds.  ``timeout=None``
+    is a no-op.  Works on any thread — see the module docstring for the
+    per-thread mechanisms and their granularity.
+
+    Example:
+        >>> import time
+        >>> try:
+        ...     with deadline(0.05, "too slow"):
+        ...         while True:
+        ...             time.perf_counter()
+        ... except Exception as exc:
+        ...     print(type(exc).__name__)
+        SweepTimeoutError
+    """
+    if timeout is None:
+        yield
+        return
+    on_main = threading.current_thread() is threading.main_thread()
+    if on_main and hasattr(signal, "SIGALRM"):
+
+        def _on_alarm(signum, frame):
+            raise SweepTimeoutError(message)
+
+        old_handler = signal.signal(signal.SIGALRM, _on_alarm)
+        signal.setitimer(signal.ITIMER_REAL, timeout)
+        _bump("armed_signal")
+        try:
+            yield
+        finally:
+            signal.setitimer(signal.ITIMER_REAL, 0.0)
+            signal.signal(signal.SIGALRM, old_handler)
+        return
+    injector = _async_exc_injector()
+    if injector is None:
+        # No enforcement mechanism: make the gap *observable* instead of
+        # silently dropping the budget (the pre-fix farm behaviour).
+        _bump("timeouts_unenforced")
+        count("timeouts_unenforced")
+        yield
+        return
+    watchdog = _ThreadWatchdog(threading.get_ident(), timeout, injector)
+    _bump("armed_watchdog")
+    watchdog.start()
+    try:
+        yield
+    except SweepTimeoutError as exc:
+        # Injection raises the bare class; attach the caller's message.
+        if exc.args:
+            raise
+        raise SweepTimeoutError(message) from None
+    finally:
+        watchdog.cancel()

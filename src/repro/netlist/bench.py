@@ -31,8 +31,18 @@ _IO_RE = re.compile(r"^(INPUT|OUTPUT)\s*\(\s*([^()\s]+)\s*\)$", re.IGNORECASE)
 _GATE_RE = re.compile(r"^([^=\s]+)\s*=\s*([A-Za-z][A-Za-z0-9]*)\s*\(([^()]*)\)$")
 
 
-def parse_bench(text: str, name: str = "bench") -> Netlist:
+def parse_bench(text: str, name: str = "bench", source: str = "") -> Netlist:
     """Parse ``.bench`` source text into a validated :class:`Netlist`.
+
+    Parse failures raise :class:`~repro.errors.BenchParseError` carrying
+    the offending ``source``/line position and chained (``from exc``) to
+    the underlying netlist error, so the original cause stays on the
+    traceback instead of being swallowed.
+
+    Args:
+        text: the ``.bench`` source.
+        name: name given to the resulting netlist.
+        source: optional origin label (file path) used in error messages.
 
     >>> nl = parse_bench('''
     ... INPUT(a)
@@ -57,7 +67,9 @@ def parse_bench(text: str, name: str = "bench") -> Netlist:
                 else:
                     netlist.add_output(sig)
             except Exception as exc:
-                raise BenchParseError(str(exc), line_no, raw) from None
+                raise BenchParseError(
+                    str(exc), line_no, raw, source=source
+                ) from exc
             continue
         m = _GATE_RE.match(line)
         if m:
@@ -71,6 +83,7 @@ def parse_bench(text: str, name: str = "bench") -> Netlist:
                             f"DFF takes exactly one input, got {len(args)}",
                             line_no,
                             raw,
+                            source=source,
                         )
                     netlist.add_dff(out, args[0])
                 else:
@@ -78,20 +91,28 @@ def parse_bench(text: str, name: str = "bench") -> Netlist:
             except BenchParseError:
                 raise
             except Exception as exc:
-                raise BenchParseError(str(exc), line_no, raw) from None
+                raise BenchParseError(
+                    str(exc), line_no, raw, source=source
+                ) from exc
             continue
-        raise BenchParseError("unrecognized statement", line_no, raw)
+        raise BenchParseError("unrecognized statement", line_no, raw, source=source)
     try:
         netlist.validate()
     except Exception as exc:
-        raise BenchParseError(f"invalid circuit: {exc}") from None
+        raise BenchParseError(
+            f"invalid circuit: {exc}", source=source
+        ) from exc
     return netlist
 
 
 def parse_bench_file(path: Union[str, Path]) -> Netlist:
-    """Parse a ``.bench`` file; the netlist is named after the file stem."""
+    """Parse a ``.bench`` file; the netlist is named after the file stem.
+
+    Parse errors report ``file:line`` positions via the ``source``
+    channel of :func:`parse_bench`.
+    """
     path = Path(path)
-    return parse_bench(path.read_text(), name=path.stem)
+    return parse_bench(path.read_text(), name=path.stem, source=str(path))
 
 
 _BENCH_FUNC = {

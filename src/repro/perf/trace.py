@@ -34,6 +34,7 @@ Example:
 from __future__ import annotations
 
 import json
+import threading
 import time
 from contextlib import contextmanager
 from typing import Dict, Iterator, List, Optional
@@ -87,6 +88,18 @@ class PerfTrace:
     def count(self, name: str, n: int = 1) -> None:
         """Add ``n`` to counter ``name`` (created at 0 on first use)."""
         self.counters[name] = self.counters.get(name, 0) + n
+
+    def add_stage(self, name: str, seconds: float, calls: int = 1) -> None:
+        """Fold an externally measured duration into stage ``name``.
+
+        The :meth:`stage` context manager times a block in the current
+        thread; ``add_stage`` is for callers that measured the interval
+        themselves (e.g. the compile service timing a request across an
+        executor hop) and just need it accumulated.
+        """
+        slot = self.stages.setdefault(name, {"seconds": 0.0, "calls": 0})
+        slot["seconds"] += seconds
+        slot["calls"] += calls
 
     def set_meta(self, **kwargs) -> None:
         """Attach scalar metadata (circuit name, l_k, seed, ...)."""
@@ -214,26 +227,31 @@ def profiled(label: str = "") -> Iterator[PerfTrace]:
         _ACTIVE = prev
 
 
-#: Stack of currently open stage names (maintained even with no trace
-#: active, so failure attribution works on untraced runs).
-_STAGE_STACK: List[str] = []
+#: Per-thread stage bookkeeping (maintained even with no trace active,
+#: so failure attribution works on untraced runs).  Thread-local because
+#: the compile service runs sweep attempts on concurrent executor
+#: threads — a shared stack would let one request's unwind steal
+#: another's failure attribution.
+_STAGE_STATE = threading.local()
 
-#: Innermost stage that was open when the last exception unwound, latched
-#: until :func:`clear_failed_stage`.
-_FAILED_STAGE: Optional[str] = None
+
+def _stage_stack() -> List[str]:
+    stack = getattr(_STAGE_STATE, "stack", None)
+    if stack is None:
+        stack = _STAGE_STATE.stack = []
+    return stack
 
 
 @contextmanager
 def stage(name: str) -> Iterator[None]:
     """Time a stage on the active trace; no-op when tracing is off.
 
-    Independently of tracing, the stage name is pushed on a module-level
+    Independently of tracing, the stage name is pushed on a per-thread
     stack so an exception escaping the block latches the *innermost*
     failing stage (readable via :func:`failed_stage`).  The sweep farm
     uses this to attribute worker failures to a pipeline stage.
     """
-    global _FAILED_STAGE
-    _STAGE_STACK.append(name)
+    _stage_stack().append(name)
     try:
         trace = _ACTIVE
         if trace is None:
@@ -242,16 +260,17 @@ def stage(name: str) -> Iterator[None]:
             with trace.stage(name):
                 yield
     except BaseException:
-        if _FAILED_STAGE is None:
-            _FAILED_STAGE = name
+        if getattr(_STAGE_STATE, "failed", None) is None:
+            _STAGE_STATE.failed = name
         raise
     finally:
-        _STAGE_STACK.pop()
+        _stage_stack().pop()
 
 
 def current_stage() -> Optional[str]:
     """Name of the innermost open :func:`stage` block, or ``None``."""
-    return _STAGE_STACK[-1] if _STAGE_STACK else None
+    stack = _stage_stack()
+    return stack[-1] if stack else None
 
 
 def failed_stage() -> Optional[str]:
@@ -260,14 +279,14 @@ def failed_stage() -> Optional[str]:
     Latched on the first unwinding :func:`stage` frame and sticky until
     :func:`clear_failed_stage` — callers clear before the attempt and
     read after catching, so nested stages report the deepest frame.
+    Both the latch and the stage stack are per-thread.
     """
-    return _FAILED_STAGE
+    return getattr(_STAGE_STATE, "failed", None)
 
 
 def clear_failed_stage() -> None:
     """Reset the latched :func:`failed_stage` value (start of an attempt)."""
-    global _FAILED_STAGE
-    _FAILED_STAGE = None
+    _STAGE_STATE.failed = None
 
 
 def count(name: str, n: int = 1) -> None:

@@ -1,0 +1,658 @@
+"""`CompileService` — the long-running asyncio compile server.
+
+One process, one event loop, a bounded thread-pool of execution slots.
+Requests arrive over the minimal HTTP codec
+(:mod:`repro.service.protocol`), are validated into
+:class:`~repro.exec.task.SweepPoint` form, and are executed by the
+hardened :class:`~repro.exec.pool.SweepFarm` on executor threads — off
+the main thread, which is exactly the embedding the farm's deadline
+watchdog (:mod:`repro.exec.watchdog`) was built for.
+
+Core mechanics:
+
+* **Coalescing** — in-flight requests are keyed by
+  :func:`~repro.exec.hashing.point_key`; N identical concurrent
+  submissions share one execution and all N get the (bit-identical)
+  payload.  Completed results then serve later duplicates from the
+  on-disk :class:`~repro.exec.cache.ResultCache`, so "exactly one
+  execution" holds across the in-flight *and* the cached regime.
+* **Backpressure** — admission is bounded by ``queue_capacity``
+  primary (non-coalesced) requests; beyond that the service answers a
+  ``429``-style JSON payload with a ``Retry-After`` hint instead of
+  queueing unboundedly.
+* **Deadlines** — every request carries a wall-clock budget
+  (``timeout`` in the submission, capped by the service default).  The
+  farm's watchdog enforces it inside the executor thread; a belt
+  timeout in the event loop guarantees the client still gets a timeout
+  row even if enforcement is impossible on the platform.
+* **Graceful drain** — SIGTERM (wired by ``merced serve``) finishes
+  in-flight work, answers new submissions with ``503``, flushes
+  orphaned cache temp files, and only then releases the executor.
+* **Observability** — ``GET /metrics`` aggregates the service
+  counters, the service-level :class:`~repro.perf.PerfTrace` stage
+  timers, queue depth, :class:`~repro.exec.cache.CacheStats`, and the
+  watchdog's armed/fired/unenforced counters.
+
+Endpoints: ``GET /healthz``, ``GET /metrics``, ``POST /v1/compile``
+(one submission object), ``POST /v1/sweep`` (``{"points": [...]}``,
+each admitted/coalesced/rejected independently).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, fields
+from typing import Dict, List, Optional, Tuple
+
+from ..circuits.library import load_circuit
+from ..config import MercedConfig
+from ..errors import ReproError
+from ..exec.cache import ResultCache
+from ..exec.hashing import code_version, point_key, short_key
+from ..exec.pool import SweepFarm
+from ..exec.task import SweepPoint, TaskResult, known_kinds
+from ..exec.watchdog import watchdog_stats
+from ..netlist.bench import parse_bench, write_bench
+from ..perf import PerfTrace
+from .protocol import (
+    MAX_BODY_BYTES,
+    HTTPRequest,
+    ProtocolError,
+    read_request,
+    render_response,
+)
+
+__all__ = ["ServiceConfig", "ServiceMetrics", "CompileService", "ServiceThread"]
+
+#: MercedConfig field names accepted at a submission's top level.
+_CONFIG_KEYS = tuple(f.name for f in fields(MercedConfig))
+
+#: Non-config keys accepted at a submission's top level.
+_SUBMISSION_KEYS = ("kind", "circuit", "bench", "params", "timeout")
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Tunables of one :class:`CompileService` instance.
+
+    Attributes:
+        host: listen address.
+        port: listen port (``0`` = pick a free ephemeral port; the
+            bound port is published as ``CompileService.port``).
+        workers: executor threads = maximum concurrently *running*
+            requests.
+        queue_capacity: maximum admitted-but-unfinished primary
+            requests (running + queued); beyond this, submissions are
+            rejected with a ``429`` payload instead of queueing.
+        jobs: farm worker processes per execution (``1`` = inline in
+            the executor thread — the right default for a service that
+            parallelizes across requests, not within them).
+        timeout: default + ceiling per-request deadline in seconds
+            (``None`` = no limit; a submission's own ``timeout`` may
+            only lower it).
+        retries: farm attempts beyond the first per request.
+        cache_dir: on-disk result cache directory (``None`` = no cache;
+            coalescing still works for concurrent duplicates).
+        drain_grace: seconds :meth:`CompileService.drain` waits for
+            in-flight work before giving up on it.
+        retry_after: ``Retry-After`` hint (seconds) sent with
+            backpressure rejections.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 8356
+    workers: int = 2
+    queue_capacity: int = 16
+    jobs: int = 1
+    timeout: Optional[float] = 300.0
+    retries: int = 0
+    cache_dir: Optional[str] = None
+    drain_grace: float = 30.0
+    retry_after: float = 1.0
+
+
+class ServiceMetrics:
+    """Thread-safe counters + service-level stage timers.
+
+    The execution path crosses threads (event loop → executor), so all
+    mutation goes through a lock; :meth:`as_dict` snapshots are
+    consistent.  Stage timers accumulate into a
+    :class:`~repro.perf.PerfTrace` via its ``add_stage`` API —
+    ``request`` (whole HTTP request) and ``execute`` (admission to farm
+    completion, queue wait included).
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.trace = PerfTrace(label="service")
+        self.counters: Dict[str, int] = {
+            "requests": 0,
+            "bad_requests": 0,
+            "submissions": 0,
+            "admitted": 0,
+            "coalesced": 0,
+            "rejected_backpressure": 0,
+            "rejected_draining": 0,
+            "executed": 0,
+            "cache_hits": 0,
+            "completed_ok": 0,
+            "failed": 0,
+            "timeouts": 0,
+            "watchdog_missed": 0,
+        }
+
+    def bump(self, name: str, n: int = 1) -> None:
+        """Add ``n`` to counter ``name``."""
+        with self._lock:
+            self.counters[name] = self.counters.get(name, 0) + n
+
+    def record_stage(self, name: str, seconds: float) -> None:
+        """Fold one externally timed stage interval into the trace."""
+        with self._lock:
+            self.trace.add_stage(name, seconds)
+
+    def as_dict(self) -> Dict[str, object]:
+        """Consistent snapshot of counters + perf trace."""
+        with self._lock:
+            return {
+                "counters": dict(self.counters),
+                "perf": self.trace.to_dict(),
+            }
+
+
+class CompileService:
+    """The asyncio compile service behind ``merced serve``.
+
+    All request bookkeeping (coalescing map, admission counter, drain
+    flag) lives on the event loop thread — only the farm execution hops
+    to the executor — so no locks guard it.
+
+    Example (embedded, see also :class:`ServiceThread`)::
+
+        service = CompileService(ServiceConfig(port=0))
+        await service.start()          # service.port is now bound
+        ...
+        await service.drain()
+    """
+
+    def __init__(self, config: Optional[ServiceConfig] = None):
+        self.config = config or ServiceConfig()
+        self.cache = (
+            ResultCache(self.config.cache_dir)
+            if self.config.cache_dir
+            else None
+        )
+        self.metrics = ServiceMetrics()
+        self.port: Optional[int] = None
+        self._inflight: Dict[str, asyncio.Future] = {}
+        self._active = 0
+        self._draining = False
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._code: Optional[str] = None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Bind the listener and ready the execution slots."""
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.config.workers,
+            thread_name_prefix="merced-service",
+        )
+        # Hash the code tree once up front, not per request.
+        self._code = code_version()
+        self._server = await asyncio.start_server(
+            self._handle_conn,
+            host=self.config.host,
+            port=self.config.port,
+            limit=MAX_BODY_BYTES + 64 * 1024,
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def drain(self) -> None:
+        """Graceful shutdown: finish in-flight, reject new, flush cache.
+
+        New submissions are answered with ``503`` the moment draining
+        starts; in-flight requests get up to ``drain_grace`` seconds to
+        finish.  The listener closes afterwards (so health checks see
+        the port go away last), orphaned cache temp files are flushed,
+        and the executor is released.
+        """
+        self._draining = True
+        loop = asyncio.get_running_loop()
+        give_up = loop.time() + self.config.drain_grace
+        while self._active and loop.time() < give_up:
+            await asyncio.sleep(0.02)
+        # Let the final response writes flush before tearing down.
+        await asyncio.sleep(0.05)
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if self.cache is not None:
+            self.cache.flush()
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+
+    @property
+    def draining(self) -> bool:
+        """True once :meth:`drain` has begun rejecting new work."""
+        return self._draining
+
+    @property
+    def queue_depth(self) -> int:
+        """Admitted-but-unfinished primary requests (running + queued)."""
+        return self._active
+
+    # ------------------------------------------------------------------
+    # HTTP plumbing
+    # ------------------------------------------------------------------
+    async def _handle_conn(self, reader, writer) -> None:
+        status, payload, extra = 500, {"ok": False, "error": "internal"}, None
+        try:
+            request = await read_request(reader)
+            if request is None:
+                return
+            self.metrics.bump("requests")
+            t0 = time.perf_counter()
+            status, payload, extra = await self._dispatch(request)
+            self.metrics.record_stage("request", time.perf_counter() - t0)
+        except ProtocolError as exc:
+            self.metrics.bump("bad_requests")
+            status, payload, extra = (
+                exc.status,
+                {
+                    "ok": False,
+                    "error": str(exc),
+                    "error_type": "ProtocolError",
+                },
+                None,
+            )
+        except Exception as exc:  # never let a request kill the loop
+            status, payload, extra = (
+                500,
+                {
+                    "ok": False,
+                    "error": str(exc),
+                    "error_type": type(exc).__name__,
+                },
+                None,
+            )
+        finally:
+            try:
+                writer.write(render_response(status, payload, extra))
+                await writer.drain()
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _dispatch(
+        self, request: HTTPRequest
+    ) -> Tuple[int, object, Optional[Dict[str, str]]]:
+        route = (request.method, request.path)
+        if route == ("GET", "/healthz"):
+            return 200, self._health_payload(), None
+        if route == ("GET", "/metrics"):
+            return 200, self.metrics_payload(), None
+        if route == ("POST", "/v1/compile"):
+            submission = request.json()
+            if not isinstance(submission, dict):
+                raise ProtocolError(400, "submission must be a JSON object")
+            return await self.submit_point(submission)
+        if route == ("POST", "/v1/sweep"):
+            document = request.json()
+            points = (
+                document.get("points")
+                if isinstance(document, dict)
+                else None
+            )
+            if not isinstance(points, list) or not points:
+                raise ProtocolError(
+                    400, 'sweep body must be {"points": [submission, ...]}'
+                )
+            rows = await asyncio.gather(
+                *(
+                    self.submit_point(p)
+                    if isinstance(p, dict)
+                    else self._bad_submission("submission must be an object")
+                    for p in points
+                )
+            )
+            results = [
+                dict(payload, status=status) for status, payload, _ in rows
+            ]
+            return 200, {"results": results}, None
+        if request.path in ("/healthz", "/metrics", "/v1/compile", "/v1/sweep"):
+            raise ProtocolError(405, f"{request.method} not allowed here")
+        raise ProtocolError(404, f"no route for {request.path}")
+
+    async def _bad_submission(self, message: str):
+        return 400, {
+            "ok": False,
+            "error": message,
+            "error_type": "ProtocolError",
+        }, None
+
+    def _health_payload(self) -> Dict[str, object]:
+        return {
+            "ok": True,
+            "draining": self._draining,
+            "queue_depth": self._active,
+            "inflight_keys": len(self._inflight),
+        }
+
+    def metrics_payload(self) -> Dict[str, object]:
+        """The ``/metrics`` document (also handy for embedded use)."""
+        snapshot = self.metrics.as_dict()
+        return {
+            "service": {
+                "draining": self._draining,
+                "queue_depth": self._active,
+                "queue_capacity": self.config.queue_capacity,
+                "inflight_keys": len(self._inflight),
+                "workers": self.config.workers,
+            },
+            "counters": snapshot["counters"],
+            "perf": snapshot["perf"],
+            "cache": (
+                self.cache.stats.as_dict() if self.cache is not None else None
+            ),
+            "watchdog": watchdog_stats(),
+        }
+
+    # ------------------------------------------------------------------
+    # submission path
+    # ------------------------------------------------------------------
+    async def submit_point(
+        self, submission: Dict[str, object]
+    ) -> Tuple[int, Dict[str, object], Optional[Dict[str, str]]]:
+        """Admit, coalesce, or reject one submission; returns the response.
+
+        The returned tuple is ``(status, payload, extra_headers)``.
+        Runs on the event loop; only the farm execution hops to an
+        executor thread.
+        """
+        self.metrics.bump("submissions")
+        try:
+            point, deadline_s = self._point_from(submission)
+        except (ReproError, KeyError, TypeError, ValueError) as exc:
+            self.metrics.bump("bad_requests")
+            return 400, {
+                "ok": False,
+                "error": str(exc),
+                "error_type": type(exc).__name__,
+            }, None
+
+        if self._draining:
+            self.metrics.bump("rejected_draining")
+            return 503, {
+                "ok": False,
+                "error": "service is draining; resubmit elsewhere",
+                "error_type": "ServiceDraining",
+            }, None
+
+        key = point_key(point, code=self._code)
+        existing = self._inflight.get(key)
+        if existing is not None:
+            self.metrics.bump("coalesced")
+            response = dict(await asyncio.shield(existing))
+            response["coalesced"] = True
+            return 200, response, None
+
+        if self._active >= self.config.queue_capacity:
+            self.metrics.bump("rejected_backpressure")
+            retry = self.config.retry_after
+            return 429, {
+                "ok": False,
+                "error": (
+                    f"admission queue full "
+                    f"({self._active}/{self.config.queue_capacity})"
+                ),
+                "error_type": "ServiceOverloaded",
+                "retry_after": retry,
+            }, {"Retry-After": f"{retry:g}"}
+
+        future = asyncio.get_running_loop().create_future()
+        self._inflight[key] = future
+        self._active += 1
+        self.metrics.bump("admitted")
+        try:
+            response = await self._run_point(point, key, deadline_s)
+        except Exception as exc:  # defensive: resolve waiters regardless
+            response = {
+                "ok": False,
+                "key": short_key(key),
+                "error": str(exc),
+                "error_type": type(exc).__name__,
+            }
+        finally:
+            self._active -= 1
+            self._inflight.pop(key, None)
+            if not future.done():
+                future.set_result(response)
+        return 200, response, None
+
+    async def _run_point(
+        self, point: SweepPoint, key: str, deadline_s: Optional[float]
+    ) -> Dict[str, object]:
+        """Execute one admitted point on an executor thread."""
+        farm = SweepFarm(
+            jobs=self.config.jobs,
+            timeout=deadline_s,
+            retries=self.config.retries,
+            cache=self.cache,
+        )
+        loop = asyncio.get_running_loop()
+        t0 = time.perf_counter()
+        call = loop.run_in_executor(self._executor, farm.map, [point])
+        # Belt over the watchdog's braces: if per-attempt enforcement is
+        # impossible (no SIGALRM, no async-exc injection), the client
+        # still gets a timeout row; the stranded thread is abandoned.
+        belt = None
+        if deadline_s is not None:
+            belt = deadline_s * (self.config.retries + 1) + 5.0
+        try:
+            if belt is None:
+                results = await call
+            else:
+                results = await asyncio.wait_for(asyncio.shield(call), belt)
+        except asyncio.TimeoutError:
+            self.metrics.bump("watchdog_missed")
+            self.metrics.bump("timeouts")
+            self.metrics.bump("failed")
+            return {
+                "ok": False,
+                "key": short_key(key),
+                "kind": point.kind,
+                "circuit": point.circuit,
+                "error": (
+                    f"deadline {deadline_s:g}s expired and the in-thread "
+                    f"watchdog did not fire"
+                ),
+                "error_type": "SweepTimeoutError",
+                "coalesced": False,
+            }
+        self.metrics.record_stage("execute", time.perf_counter() - t0)
+        return self._result_response(results[0], key)
+
+    def _result_response(
+        self, result: TaskResult, key: str
+    ) -> Dict[str, object]:
+        """Shape one farm :class:`TaskResult` into the wire payload."""
+        if result.cache_hit:
+            self.metrics.bump("cache_hits")
+        elif result.ok:
+            self.metrics.bump("executed")
+        response: Dict[str, object] = {
+            "ok": result.ok,
+            "key": short_key(key),
+            "kind": result.point.kind,
+            "circuit": result.point.circuit,
+            "cache_hit": result.cache_hit,
+            "coalesced": False,
+            "attempts": result.attempts,
+            "seconds": result.seconds,
+        }
+        if result.ok:
+            self.metrics.bump("completed_ok")
+            response["value"] = result.value
+        else:
+            self.metrics.bump("failed")
+            if result.error_type == "SweepTimeoutError":
+                self.metrics.bump("timeouts")
+            response["error"] = result.error
+            response["error_type"] = result.error_type
+            response["stage"] = result.stage
+            if result.diagnostics:
+                response["diagnostics"] = list(result.diagnostics)
+        return response
+
+    def _point_from(
+        self, submission: Dict[str, object]
+    ) -> Tuple[SweepPoint, Optional[float]]:
+        """Validate a submission dict into ``(SweepPoint, deadline)``.
+
+        Raises ``ValueError``/:class:`~repro.errors.ReproError` for
+        malformed submissions (rendered as 400 responses).
+        """
+        unknown = [
+            k
+            for k in submission
+            if k not in _SUBMISSION_KEYS and k not in _CONFIG_KEYS
+        ]
+        if unknown:
+            raise ValueError(
+                f"unknown submission key(s) {sorted(unknown)}; "
+                f"accepted: {sorted(_SUBMISSION_KEYS + _CONFIG_KEYS)}"
+            )
+        kind = submission.get("kind", "merced")
+        if kind not in known_kinds():
+            raise ValueError(
+                f"unknown task kind {kind!r} (known: {list(known_kinds())})"
+            )
+        circuit = submission.get("circuit")
+        bench = submission.get("bench")
+        if bench is not None and not isinstance(bench, str):
+            raise ValueError("'bench' must be a string of .bench text")
+        if kind in ("merced", "beta"):
+            if bench is None:
+                if not circuit:
+                    raise ValueError(
+                        "submission needs 'circuit' (a bundled benchmark "
+                        "name) or 'bench' (ISCAS89 netlist text)"
+                    )
+                netlist = load_circuit(str(circuit))
+                bench = write_bench(netlist)
+            else:
+                # Parse up front so malformed netlists are a clean 400
+                # (with line context) instead of a degraded row.
+                parsed = parse_bench(
+                    bench, name=str(circuit) if circuit else "submission"
+                )
+                circuit = circuit or parsed.name
+        else:
+            bench = bench or ""
+            circuit = circuit or kind
+        config_kwargs = {
+            k: submission[k] for k in _CONFIG_KEYS if k in submission
+        }
+        config = MercedConfig(**config_kwargs)
+        params = submission.get("params") or {}
+        if not isinstance(params, dict):
+            raise ValueError("'params' must be an object")
+        point = SweepPoint(
+            kind=str(kind),
+            circuit=str(circuit),
+            bench=bench,
+            config=config,
+            params=SweepPoint.make_params(params),
+        )
+        deadline_s = self.config.timeout
+        requested = submission.get("timeout")
+        if requested is not None:
+            requested = float(requested)
+            if requested <= 0:
+                raise ValueError(f"timeout must be positive, got {requested}")
+            deadline_s = (
+                requested
+                if deadline_s is None
+                else min(requested, deadline_s)
+            )
+        return point, deadline_s
+
+
+class ServiceThread:
+    """Run a :class:`CompileService` on a private loop in a daemon thread.
+
+    The embedding used by the test-suite and by blocking callers (e.g.
+    a notebook) that want the service without owning an event loop::
+
+        handle = ServiceThread(ServiceConfig(port=0))
+        handle.start()                  # blocks until the port is bound
+        client = ServiceClient(port=handle.port)
+        ...
+        handle.stop()                   # drains, then stops the loop
+    """
+
+    def __init__(self, config: Optional[ServiceConfig] = None):
+        self.service = CompileService(config)
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._started = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+
+    @property
+    def port(self) -> Optional[int]:
+        """The bound port once :meth:`start` has returned."""
+        return self.service.port
+
+    def start(self, timeout: float = 10.0) -> "ServiceThread":
+        """Start the loop thread; blocks until the listener is bound."""
+        self._thread = threading.Thread(
+            target=self._run, name="merced-serve", daemon=True
+        )
+        self._thread.start()
+        if not self._started.wait(timeout):
+            raise RuntimeError("service failed to start in time")
+        if self._startup_error is not None:
+            raise RuntimeError(
+                f"service failed to start: {self._startup_error}"
+            )
+        return self
+
+    def _run(self) -> None:
+        self._loop = asyncio.new_event_loop()
+        try:
+            try:
+                self._loop.run_until_complete(self.service.start())
+            except BaseException as exc:
+                self._startup_error = exc
+                return
+            finally:
+                self._started.set()
+            self._loop.run_forever()
+        finally:
+            self._loop.close()
+
+    def drain(self, timeout: float = 60.0) -> None:
+        """Run the service's graceful drain from the calling thread."""
+        if self._loop is None:
+            return
+        future = asyncio.run_coroutine_threadsafe(
+            self.service.drain(), self._loop
+        )
+        future.result(timeout)
+
+    def stop(self, timeout: float = 60.0) -> None:
+        """Drain, stop the loop, and join the thread."""
+        if self._loop is None:
+            return
+        if not self.service.draining:
+            self.drain(timeout)
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        if self._thread is not None:
+            self._thread.join(timeout)

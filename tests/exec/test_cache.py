@@ -117,6 +117,79 @@ def test_corrupt_entry_is_a_miss_not_an_error(tmp_path):
     assert cache.get(key) == {"v": 2}
 
 
+def test_put_with_unserializable_payload_is_leak_free(tmp_path):
+    """Regression: a failed store must not orphan its temp file.
+
+    Pre-fix, a payload that JSON refuses to serialize left a ``.tmp-*``
+    file behind in the shard directory forever (and the raised exception
+    crashed the sweep that produced the result).
+    """
+    cache = ResultCache(tmp_path)
+    key = "ab" * 32
+    assert cache.put(key, {"bad": object()}) is False
+    assert cache.stats.errors == 1
+    assert cache.stats.stores == 0
+    leftovers = [p for p in tmp_path.rglob("*") if p.name.startswith(".tmp-")]
+    assert leftovers == []
+    # the slot is still usable afterwards
+    assert cache.put(key, {"good": 1}) is True
+    assert cache.get(key) == {"good": 1}
+
+
+def test_put_with_circular_payload_is_leak_free(tmp_path):
+    """Payload rejected mid-write (circular reference) — the partial
+    temp file must be unlinked, not promoted or leaked."""
+    cache = ResultCache(tmp_path)
+    circular = {}
+    circular["self"] = circular
+    assert cache.put("cd" * 32, circular) is False
+    assert cache.stats.errors == 1
+    assert len(cache) == 0
+    assert not [p for p in tmp_path.rglob("*") if p.name.startswith(".tmp-")]
+
+
+def test_put_into_unwritable_shard_counts_error(tmp_path):
+    """An OS-level write failure (here: the shard path is occupied by a
+    plain file, so ``mkdir`` fails) degrades to ``False``, not a raise.
+    (A chmod-based variant would be a no-op under root, e.g. in CI.)"""
+    cache = ResultCache(tmp_path)
+    (tmp_path / "ef").write_text("not a directory")
+    assert cache.put("ef" * 32, {"v": 1}) is False
+    assert cache.stats.errors == 1
+    leftovers = [p for p in tmp_path.rglob("*") if p.name.startswith(".tmp-")]
+    assert leftovers == []
+
+
+def test_flush_removes_orphaned_temp_files(tmp_path):
+    """``flush`` reaps temp files left by *killed* writers (the drain
+    path of the compile service calls it on SIGTERM)."""
+    cache = ResultCache(tmp_path)
+    cache.put("ab" * 32, {"v": 1})
+    shard = tmp_path / "ab"
+    (shard / ".tmp-orphan1.json").write_text("{}")
+    (shard / ".tmp-orphan2.json").write_text("{}")
+    assert cache.flush() == 2
+    assert not [p for p in tmp_path.rglob("*") if p.name.startswith(".tmp-")]
+    # real entries are untouched
+    assert cache.get("ab" * 32) == {"v": 1}
+    assert cache.flush() == 0
+
+
+def test_farm_survives_unserializable_result(tmp_path):
+    """An uncacheable payload degrades to 'not stored', never a crash."""
+    cache = ResultCache(tmp_path)
+    farm = SweepFarm(cache=cache)
+    point = SweepPoint(
+        "_echo", "demo", params=SweepPoint.make_params({"x": (1, 2)})
+    )
+    results = farm.map([point])  # tuple params echo fine, store fine
+    assert results[0].ok
+    # now force the store itself to fail
+    cache.put = lambda *a, **k: False  # type: ignore[method-assign]
+    results = farm.map([point])
+    assert results[0].ok
+
+
 def test_purge_empties_the_cache(tmp_path):
     cache = ResultCache(tmp_path)
     for i in range(3):

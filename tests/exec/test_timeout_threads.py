@@ -1,0 +1,156 @@
+"""Regression: sweep timeouts must be enforced OFF the main thread.
+
+Pre-fix, ``_execute_attempt`` armed ``SIGALRM`` only when running on the
+process's main thread, so any threaded embedder (the ``merced serve``
+compile service, a notebook worker, ...) got *silently unenforced*
+timeouts — ``timeout=`` became a no-op and a runaway point ran forever.
+These tests drive the inline farm from worker threads and assert the
+deadline actually fires; they fail on the pre-fix ``exec/pool.py``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import SweepTimeoutError
+from repro.exec import (
+    SweepFarm,
+    SweepPoint,
+    deadline,
+    reset_watchdog_stats,
+    watchdog_stats,
+)
+from repro.exec import watchdog as watchdog_module
+
+
+def _spin_point(seconds: float) -> SweepPoint:
+    return SweepPoint(
+        "_spin", "spin", params=SweepPoint.make_params({"seconds": seconds})
+    )
+
+
+def _run_in_thread(fn, timeout=30.0):
+    """Run ``fn`` on a fresh worker thread; return its result or raise."""
+    box = {}
+
+    def target():
+        try:
+            box["value"] = fn()
+        except BaseException as exc:  # surfaced to the test thread
+            box["error"] = exc
+
+    thread = threading.Thread(target=target)
+    thread.start()
+    thread.join(timeout)
+    assert not thread.is_alive(), "worker thread wedged (deadline never fired)"
+    if "error" in box:
+        raise box["error"]
+    return box["value"]
+
+
+# ----------------------------------------------------------------------
+# the regression itself
+# ----------------------------------------------------------------------
+def test_inline_farm_timeout_fires_on_worker_thread():
+    """The headline bug: farm timeout must degrade the row off-main-thread."""
+    farm = SweepFarm(timeout=0.2, retries=0)
+    t0 = time.perf_counter()
+    result = _run_in_thread(lambda: farm.map([_spin_point(20.0)])[0])
+    elapsed = time.perf_counter() - t0
+    assert not result.ok
+    assert result.error_type == "SweepTimeoutError"
+    assert "0.2" in result.error and "spin" in result.error
+    assert elapsed < 5.0, f"deadline enforced but far too late ({elapsed:.1f}s)"
+
+
+def test_threaded_timeout_consumes_retry_budget():
+    farm = SweepFarm(timeout=0.1, retries=1)
+    result = _run_in_thread(lambda: farm.map([_spin_point(20.0)])[0])
+    assert not result.ok
+    assert result.error_type == "SweepTimeoutError"
+    assert result.attempts == 2
+
+
+def test_threaded_fast_task_still_succeeds_under_deadline():
+    farm = SweepFarm(timeout=5.0, retries=0)
+    result = _run_in_thread(lambda: farm.map([_spin_point(0.01)])[0])
+    assert result.ok
+    assert result.value["spun"] is True
+
+
+def test_main_thread_sigalrm_path_still_works():
+    """The original main-thread mechanism must be unchanged (sleep is
+    interruptible there, which the watchdog path cannot promise)."""
+    farm = SweepFarm(timeout=0.2, retries=0)
+    point = SweepPoint(
+        "_sleep", "slow", params=SweepPoint.make_params({"seconds": 30.0})
+    )
+    t0 = time.perf_counter()
+    result = farm.map([point])[0]
+    assert not result.ok
+    assert result.error_type == "SweepTimeoutError"
+    assert time.perf_counter() - t0 < 5.0
+
+
+# ----------------------------------------------------------------------
+# the deadline primitive
+# ----------------------------------------------------------------------
+def test_deadline_contextmanager_raises_off_main_thread():
+    def body():
+        with deadline(0.1, "budget blown"):
+            while True:
+                time.perf_counter()
+
+    with pytest.raises(SweepTimeoutError, match="budget blown"):
+        _run_in_thread(body)
+
+
+def test_deadline_noop_when_timeout_none():
+    assert _run_in_thread(lambda: _noop_under_deadline()) == "done"
+
+
+def _noop_under_deadline():
+    with deadline(None, ""):
+        return "done"
+
+
+def test_deadline_cancel_does_not_poison_later_work():
+    """A task finishing just under the wire must not blow up afterwards."""
+
+    def body():
+        for _ in range(20):
+            with deadline(0.01, "tight"):
+                pass  # completes immediately; watchdog cancelled each time
+        time.sleep(0.05)  # would surface any stray pending injection
+        return "clean"
+
+    assert _run_in_thread(body) == "clean"
+
+
+def test_watchdog_stats_observable():
+    reset_watchdog_stats()
+    farm = SweepFarm(timeout=0.1, retries=0)
+    _run_in_thread(lambda: farm.map([_spin_point(10.0)])[0])
+    stats = watchdog_stats()
+    assert stats["armed_watchdog"] >= 1
+    assert stats["fired"] >= 1
+    assert stats["timeouts_unenforced"] == 0
+
+
+def test_unenforceable_deadline_is_counted_not_silent(monkeypatch):
+    """Without an injection mechanism the gap must be *observable*."""
+    reset_watchdog_stats()
+    monkeypatch.setattr(
+        watchdog_module, "_async_exc_injector", lambda: None
+    )
+
+    def body():
+        with deadline(0.01, "cannot enforce"):
+            time.sleep(0.05)  # outlives the budget, nothing fires
+        return "ran to completion"
+
+    assert _run_in_thread(body) == "ran to completion"
+    assert watchdog_stats()["timeouts_unenforced"] == 1

@@ -73,6 +73,43 @@ class TestParseErrors:
                 "INPUT(a)\nOUTPUT(x)\nx = NAND(a, y)\ny = NAND(a, x)\n"
             )
 
+    def test_parse_error_chains_original_exception(self):
+        """Regression: the parser used to raise ``from None``, discarding
+        the original traceback a debugger needs."""
+        with pytest.raises(BenchParseError) as err:
+            parse_bench("INPUT(x)\nOUTPUT(y)\ny = NOT(x)\ny = BUFF(x)\n")
+        assert err.value.__cause__ is not None
+        assert isinstance(err.value.__cause__, Exception)
+        assert not isinstance(err.value.__cause__, BenchParseError)
+
+    def test_parse_error_from_file_includes_source_and_line(self, tmp_path):
+        path = tmp_path / "broken.bench"
+        path.write_text("INPUT(x)\nOUTPUT(y)\ny = NOT(x)\ny = BUFF(x)\n")
+        with pytest.raises(BenchParseError) as err:
+            parse_bench_file(path)
+        message = str(err.value)
+        assert str(path) in message
+        assert ":4:" in message
+        assert err.value.line_no == 4
+        assert err.value.__cause__ is not None
+
+    def test_unrecognized_statement_reports_file_position(self, tmp_path):
+        path = tmp_path / "garbage.bench"
+        path.write_text("INPUT(x)\nOUTPUT(y)\ny = NOT(x\n")
+        with pytest.raises(BenchParseError) as err:
+            parse_bench_file(path)
+        assert str(path) in str(err.value)
+        assert err.value.line_no == 3
+
+    def test_validate_error_carries_source_and_cause(self, tmp_path):
+        path = tmp_path / "dangling.bench"
+        path.write_text("INPUT(x)\nOUTPUT(y)\ny = NOT(ghost)\n")
+        with pytest.raises(BenchParseError) as err:
+            parse_bench_file(path)
+        assert str(path) in str(err.value)
+        assert "invalid circuit" in str(err.value)
+        assert err.value.__cause__ is not None
+
 
 class TestRoundTrip:
     def test_s27_round_trip(self, s27):

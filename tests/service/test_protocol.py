@@ -1,0 +1,168 @@
+"""Unit tests for the minimal HTTP/1.1 codec under the compile service."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.service.protocol import (
+    MAX_BODY_BYTES,
+    MAX_HEAD_BYTES,
+    HTTPRequest,
+    ProtocolError,
+    read_request,
+    render_response,
+)
+
+
+def _parse(data: bytes):
+    """Feed raw bytes through ``read_request`` on a throwaway loop."""
+
+    async def go():
+        reader = asyncio.StreamReader(limit=MAX_BODY_BYTES + 64 * 1024)
+        reader.feed_data(data)
+        reader.feed_eof()
+        return await read_request(reader)
+
+    return asyncio.run(go())
+
+
+# ----------------------------------------------------------------------
+# request parsing
+# ----------------------------------------------------------------------
+def test_parse_simple_get():
+    request = _parse(b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n")
+    assert request.method == "GET"
+    assert request.path == "/healthz"
+    assert request.headers["host"] == "x"
+    assert request.body == b""
+
+
+def test_parse_post_with_json_body():
+    body = json.dumps({"circuit": "s27", "lk": 3}).encode()
+    head = (
+        f"POST /v1/compile HTTP/1.1\r\n"
+        f"Content-Type: application/json\r\n"
+        f"Content-Length: {len(body)}\r\n\r\n"
+    ).encode()
+    request = _parse(head + body)
+    assert request.method == "POST"
+    assert request.json() == {"circuit": "s27", "lk": 3}
+
+
+def test_query_string_is_stripped_and_method_uppercased():
+    request = _parse(b"get /metrics?verbose=1 HTTP/1.1\r\n\r\n")
+    assert request.method == "GET"
+    assert request.path == "/metrics"
+
+
+def test_header_names_are_lowercased_last_value_wins():
+    request = _parse(
+        b"GET / HTTP/1.1\r\nX-Tag: one\r\nx-tag: two\r\n\r\n"
+    )
+    assert request.headers["x-tag"] == "two"
+
+
+def test_clean_disconnect_returns_none():
+    assert _parse(b"") is None
+
+
+def test_truncated_head_is_400():
+    with pytest.raises(ProtocolError) as err:
+        _parse(b"GET / HTTP/1.1\r\nHost")
+    assert err.value.status == 400
+
+
+def test_oversized_head_is_431():
+    filler = b"X-Pad: " + b"a" * (MAX_HEAD_BYTES + 1024) + b"\r\n"
+    with pytest.raises(ProtocolError) as err:
+        _parse(b"GET / HTTP/1.1\r\n" + filler + b"\r\n")
+    assert err.value.status == 431
+
+
+def test_malformed_request_line_is_400():
+    with pytest.raises(ProtocolError) as err:
+        _parse(b"NONSENSE\r\n\r\n")
+    assert err.value.status == 400
+
+
+def test_unsupported_protocol_version_is_400():
+    with pytest.raises(ProtocolError) as err:
+        _parse(b"GET / HTTP/2.0\r\n\r\n")
+    assert err.value.status == 400
+
+
+@pytest.mark.parametrize("value", ["-5", "banana"])
+def test_bad_content_length_is_400(value):
+    with pytest.raises(ProtocolError) as err:
+        _parse(
+            f"POST / HTTP/1.1\r\nContent-Length: {value}\r\n\r\n".encode()
+        )
+    assert err.value.status == 400
+
+
+def test_over_limit_body_is_413():
+    with pytest.raises(ProtocolError) as err:
+        _parse(
+            f"POST / HTTP/1.1\r\n"
+            f"Content-Length: {MAX_BODY_BYTES + 1}\r\n\r\n".encode()
+        )
+    assert err.value.status == 413
+
+
+def test_chunked_transfer_encoding_is_rejected():
+    with pytest.raises(ProtocolError) as err:
+        _parse(b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n")
+    assert err.value.status == 400
+
+
+def test_truncated_body_is_400():
+    with pytest.raises(ProtocolError) as err:
+        _parse(b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc")
+    assert err.value.status == 400
+
+
+def test_json_of_empty_body_is_400():
+    request = HTTPRequest(method="POST", path="/v1/compile")
+    with pytest.raises(ProtocolError) as err:
+        request.json()
+    assert err.value.status == 400
+
+
+def test_json_of_invalid_body_is_400_with_cause():
+    request = HTTPRequest(
+        method="POST", path="/v1/compile", body=b"{not json"
+    )
+    with pytest.raises(ProtocolError) as err:
+        request.json()
+    assert err.value.status == 400
+    assert err.value.__cause__ is not None
+
+
+# ----------------------------------------------------------------------
+# response rendering
+# ----------------------------------------------------------------------
+def test_render_response_shape():
+    raw = render_response(200, {"b": 1, "a": 2})
+    head, _, body = raw.partition(b"\r\n\r\n")
+    lines = head.decode().split("\r\n")
+    assert lines[0] == "HTTP/1.1 200 OK"
+    assert "Connection: close" in lines
+    assert f"Content-Length: {len(body)}".encode() in head
+    # sorted keys → byte-stable payloads for the coalescing comparisons
+    assert body == b'{"a": 2, "b": 1}\n'
+
+
+def test_render_response_extra_headers_and_unknown_status():
+    raw = render_response(429, {"ok": False}, {"Retry-After": "1"})
+    assert raw.startswith(b"HTTP/1.1 429 Too Many Requests\r\n")
+    assert b"Retry-After: 1\r\n" in raw
+    assert render_response(299, None).startswith(b"HTTP/1.1 299 Unknown")
+
+
+def test_render_response_none_payload_is_empty_body():
+    raw = render_response(200, None)
+    assert raw.endswith(b"\r\n\r\n")
+    assert b"Content-Length: 0" in raw

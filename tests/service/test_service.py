@@ -1,0 +1,359 @@
+"""End-to-end tests for the ``merced serve`` compile service.
+
+Boots a real :class:`~repro.service.server.CompileService` on a private
+event-loop thread (ephemeral port, throwaway on-disk cache) and drives
+it over actual HTTP with the bundled
+:class:`~repro.service.client.ServiceClient` — the same path ``merced
+submit`` uses.  Covers the ISSUE's required behaviours: request
+coalescing (N identical concurrent submissions → exactly one
+``SweepFarm`` execution), bounded-admission backpressure (rejects, not
+hangs), per-request deadlines enforced off the main thread, graceful
+drain, and bit-identical payloads versus the inline pipeline.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.circuits.library import load_circuit
+from repro.config import MercedConfig
+from repro.core.merced import Merced
+from repro.errors import ServiceRejectedError
+from repro.exec.task import merced_payload
+from repro.service import ServiceClient, ServiceConfig, ServiceThread
+
+
+@pytest.fixture
+def boot(tmp_path):
+    """Factory fixture: start a service, hand back (handle, client)."""
+    handles = []
+
+    def _boot(**overrides):
+        settings = dict(
+            host="127.0.0.1",
+            port=0,
+            workers=2,
+            queue_capacity=16,
+            timeout=60.0,
+            cache_dir=str(tmp_path / f"cache{len(handles)}"),
+        )
+        settings.update(overrides)
+        handle = ServiceThread(ServiceConfig(**settings)).start()
+        handles.append(handle)
+        client = ServiceClient(port=handle.port, timeout=60.0)
+        return handle, client
+
+    yield _boot
+    for handle in handles:
+        handle.stop()
+
+
+def _in_threads(n, fn):
+    """Run ``fn(i)`` on ``n`` threads released together; return results."""
+    barrier = threading.Barrier(n)
+    rows = [None] * n
+    errors = []
+
+    def target(i):
+        barrier.wait()
+        try:
+            rows[i] = fn(i)
+        except Exception as exc:  # surfaced below
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=target, args=(i,)) for i in range(n)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(60.0)
+    assert not any(t.is_alive() for t in threads), "client thread wedged"
+    if errors:
+        raise errors[0]
+    return rows
+
+
+# ----------------------------------------------------------------------
+# basics
+# ----------------------------------------------------------------------
+def test_health_endpoint(boot):
+    _, client = boot()
+    health = client.wait_ready()
+    assert health["ok"] is True
+    assert health["draining"] is False
+    assert health["queue_depth"] == 0
+
+
+def test_metrics_document_shape(boot):
+    _, client = boot()
+    payload = client.metrics()
+    assert set(payload) >= {
+        "service",
+        "counters",
+        "perf",
+        "cache",
+        "watchdog",
+    }
+    assert payload["service"]["queue_capacity"] == 16
+    assert payload["service"]["workers"] == 2
+    assert set(payload["counters"]) >= {
+        "requests",
+        "submissions",
+        "admitted",
+        "coalesced",
+        "rejected_backpressure",
+        "executed",
+        "cache_hits",
+        "timeouts",
+    }
+    assert set(payload["cache"]) >= {"hits", "misses", "stores", "errors"}
+    assert "timeouts_unenforced" in payload["watchdog"]
+
+
+def test_unknown_route_and_bad_method(boot):
+    _, client = boot()
+    status, document = client._request("GET", "/nope")
+    assert status == 404 and document["ok"] is False
+    status, document = client._request("DELETE", "/metrics")
+    assert status == 405
+
+
+# ----------------------------------------------------------------------
+# payload identity with the inline pipeline
+# ----------------------------------------------------------------------
+def test_compile_payload_matches_inline_merced(boot):
+    _, client = boot()
+    row = client.compile_point(circuit="s27", lk=3, seed=7)
+    assert row["ok"] is True
+    assert row["kind"] == "merced" and row["circuit"] == "s27"
+    expected = merced_payload(
+        Merced(MercedConfig(lk=3, seed=7)).run(load_circuit("s27"))
+    )
+    assert row["value"] == expected
+
+
+# ----------------------------------------------------------------------
+# coalescing — the tentpole's core mechanic
+# ----------------------------------------------------------------------
+def test_eight_concurrent_identical_submissions_execute_once(boot):
+    """ISSUE acceptance: 8 identical concurrent submissions → ONE
+    pipeline execution, all 8 payloads bit-identical and equal to a
+    direct inline ``Merced.run``."""
+    _, client = boot()
+    rows = _in_threads(
+        8, lambda i: client.compile_point(circuit="s27", lk=3, seed=7)
+    )
+    assert all(row["ok"] for row in rows)
+    expected = merced_payload(
+        Merced(MercedConfig(lk=3, seed=7)).run(load_circuit("s27"))
+    )
+    encoded = {json.dumps(row["value"], sort_keys=True) for row in rows}
+    assert encoded == {json.dumps(expected, sort_keys=True)}
+
+    counters = client.metrics()["counters"]
+    cache = client.metrics()["cache"]
+    # exactly one execution: one fresh run, one store; every other
+    # submission was coalesced onto it or served from the cache it fed
+    assert counters["executed"] == 1
+    assert cache["stores"] == 1
+    assert counters["coalesced"] + counters["cache_hits"] == 7
+    assert counters["completed_ok"] + counters["coalesced"] == 8
+
+
+def test_concurrent_duplicate_is_coalesced_not_reexecuted(boot):
+    """Deterministic two-client overlap: the late duplicate must ride
+    the in-flight execution (coalesce counter, shared payload)."""
+    _, client = boot()
+    submission = dict(kind="_spin", params={"seconds": 0.6})
+    first_row = {}
+
+    def primary():
+        first_row.update(client.compile_point(**submission))
+
+    thread = threading.Thread(target=primary)
+    thread.start()
+    time.sleep(0.2)  # well inside the 0.6s spin
+    duplicate = client.compile_point(**submission)
+    thread.join(30.0)
+    assert not thread.is_alive()
+
+    assert first_row["ok"] and duplicate["ok"]
+    assert duplicate["coalesced"] is True
+    assert first_row["coalesced"] is False
+    assert duplicate["value"] == first_row["value"]
+    counters = client.metrics()["counters"]
+    assert counters["admitted"] == 1
+    assert counters["coalesced"] == 1
+    assert client.metrics()["cache"]["stores"] == 1
+
+
+def test_sequential_duplicate_served_from_disk_cache(boot):
+    _, client = boot()
+    first = client.compile_point(circuit="s27", lk=3, seed=7)
+    again = client.compile_point(circuit="s27", lk=3, seed=7)
+    assert first["cache_hit"] is False
+    assert again["cache_hit"] is True
+    assert again["attempts"] == 0
+    assert again["value"] == first["value"]
+    assert client.metrics()["cache"]["stores"] == 1
+
+
+# ----------------------------------------------------------------------
+# backpressure
+# ----------------------------------------------------------------------
+def test_over_capacity_submission_gets_429_not_queued(boot):
+    _, client = boot(workers=1, queue_capacity=1)
+    slow = threading.Thread(
+        target=lambda: client.compile_point(
+            kind="_spin", params={"seconds": 1.0}
+        )
+    )
+    slow.start()
+    time.sleep(0.2)
+    t0 = time.perf_counter()
+    with pytest.raises(ServiceRejectedError) as err:
+        client.compile_point(kind="_spin", params={"seconds": 1.0, "b": 1})
+    assert time.perf_counter() - t0 < 1.0, "rejection must be immediate"
+    assert err.value.status == 429
+    assert err.value.payload["error_type"] == "ServiceOverloaded"
+    assert err.value.payload["retry_after"] > 0
+    slow.join(30.0)
+    assert not slow.is_alive()
+    assert client.metrics()["counters"]["rejected_backpressure"] == 1
+
+
+def test_burst_sweep_degrades_per_point_instead_of_hanging(boot):
+    """An over-capacity burst yields reject rows, not hangs — the whole
+    batch still answers promptly."""
+    _, client = boot(workers=1, queue_capacity=2)
+    submissions = [
+        {"kind": "_spin", "params": {"seconds": 0.3, "tag": i}}
+        for i in range(8)
+    ]
+    t0 = time.perf_counter()
+    rows = client.sweep(submissions)
+    elapsed = time.perf_counter() - t0
+    assert elapsed < 15.0
+    assert len(rows) == 8
+    accepted = [r for r in rows if r["status"] == 200]
+    rejected = [r for r in rows if r["status"] == 429]
+    assert len(accepted) == 2 and all(r["ok"] for r in accepted)
+    assert len(rejected) == 6
+    assert all(
+        r["error_type"] == "ServiceOverloaded" and "retry_after" in r
+        for r in rejected
+    )
+
+
+# ----------------------------------------------------------------------
+# deadlines
+# ----------------------------------------------------------------------
+def test_request_deadline_enforced_off_main_thread(boot):
+    """The service runs points on executor threads, exactly where the
+    pre-fix SIGALRM-only enforcement silently did nothing."""
+    _, client = boot(workers=1, timeout=0.3)
+    t0 = time.perf_counter()
+    row = client.compile_point(kind="_spin", params={"seconds": 30.0})
+    elapsed = time.perf_counter() - t0
+    assert row["ok"] is False
+    assert row["error_type"] == "SweepTimeoutError"
+    assert elapsed < 10.0
+    assert client.metrics()["counters"]["timeouts"] == 1
+
+
+def test_submission_timeout_is_capped_by_service_ceiling(boot):
+    _, client = boot(workers=1, timeout=0.3)
+    row = client.compile_point(
+        kind="_spin", params={"seconds": 30.0}, timeout=3600.0
+    )
+    assert row["ok"] is False
+    assert row["error_type"] == "SweepTimeoutError"
+    assert "0.3" in row["error"]
+
+
+# ----------------------------------------------------------------------
+# graceful drain
+# ----------------------------------------------------------------------
+def test_drain_finishes_inflight_rejects_new_flushes_tmp(boot, tmp_path):
+    handle, client = boot(workers=1)
+    cache_dir = tmp_path / "cache0"
+    inflight = {}
+    worker = threading.Thread(
+        target=lambda: inflight.update(
+            client.compile_point(kind="_spin", params={"seconds": 0.8})
+        )
+    )
+    worker.start()
+    time.sleep(0.25)
+    # a crashed writer's leftover, for drain's cache flush to reap
+    orphan_shard = cache_dir / "ab"
+    orphan_shard.mkdir(parents=True, exist_ok=True)
+    (orphan_shard / ".tmp-orphan.json").write_text("{}")
+
+    drainer = threading.Thread(target=handle.drain)
+    drainer.start()
+    time.sleep(0.1)  # drain flag is up, in-flight spin still running
+    with pytest.raises(ServiceRejectedError) as err:
+        client.compile_point(kind="_spin", params={"seconds": 0.1})
+    assert err.value.status == 503
+    assert err.value.payload["error_type"] == "ServiceDraining"
+
+    drainer.join(30.0)
+    worker.join(30.0)
+    assert not drainer.is_alive() and not worker.is_alive()
+    # the in-flight request finished normally under drain
+    assert inflight["ok"] is True
+    # and no temp files survive anywhere in the cache tree
+    leftovers = [
+        p for p in cache_dir.rglob("*") if p.name.startswith(".tmp-")
+    ]
+    assert leftovers == []
+
+
+# ----------------------------------------------------------------------
+# submission validation
+# ----------------------------------------------------------------------
+def test_unknown_submission_key_is_400(boot):
+    _, client = boot()
+    with pytest.raises(ServiceRejectedError) as err:
+        client.compile_point(circuit="s27", bogus=1)
+    assert err.value.status == 400
+    assert "bogus" in err.value.payload["error"]
+
+
+def test_unknown_kind_is_400(boot):
+    _, client = boot()
+    with pytest.raises(ServiceRejectedError) as err:
+        client.compile_point(circuit="s27", kind="nope")
+    assert err.value.status == 400
+    assert "unknown task kind" in err.value.payload["error"]
+
+
+def test_malformed_bench_is_400_with_line_context(boot):
+    _, client = boot()
+    with pytest.raises(ServiceRejectedError) as err:
+        client.compile_point(
+            circuit="broken", bench="INPUT(x)\nOUTPUT(y)\nthis is junk\n"
+        )
+    assert err.value.status == 400
+    assert err.value.payload["error_type"] == "BenchParseError"
+    assert "line 3" in err.value.payload["error"]
+
+
+def test_nonpositive_timeout_is_400(boot):
+    _, client = boot()
+    with pytest.raises(ServiceRejectedError) as err:
+        client.compile_point(circuit="s27", timeout=-1.0)
+    assert err.value.status == 400
+
+
+def test_missing_circuit_and_bench_is_400(boot):
+    _, client = boot()
+    with pytest.raises(ServiceRejectedError) as err:
+        client.compile_point()
+    assert err.value.status == 400
