@@ -22,6 +22,7 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Optional, Union
@@ -159,7 +160,7 @@ class ResultCache:
                 pass
         return n
 
-    def flush(self) -> int:
+    def flush(self, min_age_s: float = 0.0) -> int:
         """Remove orphaned ``.tmp-*`` files; returns how many were removed.
 
         :meth:`put` cleans up after itself, so leftovers only appear
@@ -167,10 +168,19 @@ class ResultCache:
         worker).  The compile service calls this as part of its
         graceful drain so a SIGTERM never strands temp files in the
         shard directories.
+
+        ``min_age_s`` protects writers that may still be mid-store
+        (stranded executor threads, other processes sharing the
+        directory): only temp files whose mtime is at least that many
+        seconds old are reaped.  The default ``0.0`` reaps everything —
+        only safe once all writers have provably quiesced.
         """
+        cutoff = time.time() - min_age_s
         n = 0
         for path in Path(self.directory).glob("*/.tmp-*"):
             try:
+                if min_age_s > 0 and path.stat().st_mtime > cutoff:
+                    continue
                 path.unlink()
                 n += 1
             except OSError:

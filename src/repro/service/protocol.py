@@ -97,16 +97,26 @@ async def read_request(reader: asyncio.StreamReader) -> Optional[HTTPRequest]:
     or over-limit requests raise :class:`ProtocolError` with the HTTP
     status to respond with.
     """
-    try:
-        head = await reader.readuntil(b"\r\n\r\n")
-    except asyncio.IncompleteReadError as exc:
-        if not exc.partial:
-            return None
-        raise ProtocolError(400, "truncated request head") from exc
-    except asyncio.LimitOverrunError as exc:
-        raise ProtocolError(431, "request head too large") from exc
-    if len(head) > MAX_HEAD_BYTES:
-        raise ProtocolError(431, "request head too large")
+    # Read the head line by line so the MAX_HEAD_BYTES cap is enforced
+    # *incrementally*: a client streaming headers without ever sending
+    # the blank line gets its 431 after ~32 KB, not after filling the
+    # stream buffer to its (much larger) limit.
+    head = bytearray()
+    while True:
+        try:
+            line = await reader.readuntil(b"\r\n")
+        except asyncio.IncompleteReadError as exc:
+            if not exc.partial and not head:
+                return None
+            raise ProtocolError(400, "truncated request head") from exc
+        except asyncio.LimitOverrunError as exc:
+            raise ProtocolError(431, "request head too large") from exc
+        head += line
+        if len(head) > MAX_HEAD_BYTES:
+            raise ProtocolError(431, "request head too large")
+        if line == b"\r\n":
+            break
+    head = bytes(head)
 
     try:
         lines = head.decode("latin-1").split("\r\n")

@@ -58,7 +58,7 @@ from ..exec.watchdog import watchdog_stats
 from ..netlist.bench import parse_bench, write_bench
 from ..perf import PerfTrace
 from .protocol import (
-    MAX_BODY_BYTES,
+    MAX_HEAD_BYTES,
     HTTPRequest,
     ProtocolError,
     read_request,
@@ -100,6 +100,16 @@ class ServiceConfig:
             in-flight work before giving up on it.
         retry_after: ``Retry-After`` hint (seconds) sent with
             backpressure rejections.
+        belt_slack: extra seconds the event-loop belt timeout grants
+            beyond the per-attempt deadlines before abandoning an
+            execution whose in-thread watchdog failed to fire.
+        allow_fault_kinds: admit underscore-prefixed fault-injection
+            task kinds (``_sleep``/``_spin``/``_raise``/``_exit``/...)
+            from the network.  **Off by default** — these kinds exist
+            to exercise the farm's failure paths and would let any
+            client kill the server process (``_exit``) or pin executor
+            slots (``_sleep``/``_spin``); enable only for test
+            deployments.
     """
 
     host: str = "127.0.0.1"
@@ -112,6 +122,8 @@ class ServiceConfig:
     cache_dir: Optional[str] = None
     drain_grace: float = 30.0
     retry_after: float = 1.0
+    belt_slack: float = 5.0
+    allow_fault_kinds: bool = False
 
 
 class ServiceMetrics:
@@ -189,6 +201,7 @@ class CompileService:
         self.port: Optional[int] = None
         self._inflight: Dict[str, asyncio.Future] = {}
         self._active = 0
+        self._stranded = 0
         self._draining = False
         self._server: Optional[asyncio.AbstractServer] = None
         self._executor: Optional[ThreadPoolExecutor] = None
@@ -205,11 +218,15 @@ class CompileService:
         )
         # Hash the code tree once up front, not per request.
         self._code = code_version()
+        # The stream limit only bounds readline/readuntil (the request
+        # head); bodies go through readexactly, which is not subject to
+        # it.  Keeping the limit head-sized means a client that never
+        # sends the head terminator can buffer ~36 KB, not megabytes.
         self._server = await asyncio.start_server(
             self._handle_conn,
             host=self.config.host,
             port=self.config.port,
-            limit=MAX_BODY_BYTES + 64 * 1024,
+            limit=MAX_HEAD_BYTES + 4096,
         )
         self.port = self._server.sockets[0].getsockname()[1]
 
@@ -220,12 +237,16 @@ class CompileService:
         starts; in-flight requests get up to ``drain_grace`` seconds to
         finish.  The listener closes afterwards (so health checks see
         the port go away last), orphaned cache temp files are flushed,
-        and the executor is released.
+        and the executor is released.  ``drain_grace`` is a real upper
+        bound: stranded threads (belt-expired work stuck in a blocking
+        C call) are abandoned, never waited on — the executor is shut
+        down without joining, and the cache flush spares temp files
+        young enough to belong to a still-running writer.
         """
         self._draining = True
         loop = asyncio.get_running_loop()
         give_up = loop.time() + self.config.drain_grace
-        while self._active and loop.time() < give_up:
+        while (self._active or self._stranded) and loop.time() < give_up:
             await asyncio.sleep(0.02)
         # Let the final response writes flush before tearing down.
         await asyncio.sleep(0.05)
@@ -233,9 +254,17 @@ class CompileService:
             self._server.close()
             await self._server.wait_closed()
         if self.cache is not None:
-            self.cache.flush()
+            # With writers provably quiesced every temp file is an
+            # orphan; otherwise spare anything young enough to belong
+            # to a stranded writer still mid-store.
+            quiesced = not self._active and not self._stranded
+            self.cache.flush(
+                min_age_s=(
+                    0.0 if quiesced else max(self.config.drain_grace, 60.0)
+                )
+            )
         if self._executor is not None:
-            self._executor.shutdown(wait=True)
+            self._executor.shutdown(wait=False)
 
     @property
     def draining(self) -> bool:
@@ -252,9 +281,14 @@ class CompileService:
     # ------------------------------------------------------------------
     async def _handle_conn(self, reader, writer) -> None:
         status, payload, extra = 500, {"ok": False, "error": "internal"}, None
+        respond = True
         try:
             request = await read_request(reader)
             if request is None:
+                # Clean disconnect (e.g. a TCP health probe): close
+                # without writing — a probe that reads the socket must
+                # not see a spurious 500.
+                respond = False
                 return
             self.metrics.bump("requests")
             t0 = time.perf_counter()
@@ -283,8 +317,9 @@ class CompileService:
             )
         finally:
             try:
-                writer.write(render_response(status, payload, extra))
-                await writer.drain()
+                if respond:
+                    writer.write(render_response(status, payload, extra))
+                    await writer.drain()
                 writer.close()
                 await writer.wait_closed()
             except (ConnectionError, OSError):
@@ -342,6 +377,7 @@ class CompileService:
             "ok": True,
             "draining": self._draining,
             "queue_depth": self._active,
+            "stranded": self._stranded,
             "inflight_keys": len(self._inflight),
         }
 
@@ -352,6 +388,7 @@ class CompileService:
             "service": {
                 "draining": self._draining,
                 "queue_depth": self._active,
+                "stranded": self._stranded,
                 "queue_capacity": self.config.queue_capacity,
                 "inflight_keys": len(self._inflight),
                 "workers": self.config.workers,
@@ -403,14 +440,18 @@ class CompileService:
             response["coalesced"] = True
             return 200, response, None
 
-        if self._active >= self.config.queue_capacity:
+        # Stranded slots (belt-expired work still pinning an executor
+        # thread) count against capacity: the workers are genuinely
+        # busy, so admitting more would only queue work invisibly.
+        occupied = self._active + self._stranded
+        if occupied >= self.config.queue_capacity:
             self.metrics.bump("rejected_backpressure")
             retry = self.config.retry_after
             return 429, {
                 "ok": False,
                 "error": (
                     f"admission queue full "
-                    f"({self._active}/{self.config.queue_capacity})"
+                    f"({occupied}/{self.config.queue_capacity})"
                 ),
                 "error_type": "ServiceOverloaded",
                 "retry_after": retry,
@@ -450,17 +491,26 @@ class CompileService:
         t0 = time.perf_counter()
         call = loop.run_in_executor(self._executor, farm.map, [point])
         # Belt over the watchdog's braces: if per-attempt enforcement is
-        # impossible (no SIGALRM, no async-exc injection), the client
-        # still gets a timeout row; the stranded thread is abandoned.
+        # impossible (no SIGALRM, no async-exc injection, or delivery is
+        # stuck behind a blocking C call), the client still gets a
+        # timeout row; the stranded thread is abandoned.
         belt = None
         if deadline_s is not None:
-            belt = deadline_s * (self.config.retries + 1) + 5.0
+            belt = (
+                deadline_s * (self.config.retries + 1)
+                + self.config.belt_slack
+            )
         try:
             if belt is None:
                 results = await call
             else:
                 results = await asyncio.wait_for(asyncio.shield(call), belt)
         except asyncio.TimeoutError:
+            # The abandoned call keeps pinning its executor thread until
+            # the watchdog's async-exc finally lands; account for that
+            # slot so admission doesn't oversubscribe the workers.
+            self._stranded += 1
+            call.add_done_callback(self._release_stranded)
             self.metrics.bump("watchdog_missed")
             self.metrics.bump("timeouts")
             self.metrics.bump("failed")
@@ -478,6 +528,17 @@ class CompileService:
             }
         self.metrics.record_stage("execute", time.perf_counter() - t0)
         return self._result_response(results[0], key)
+
+    def _release_stranded(self, call: asyncio.Future) -> None:
+        """Free a stranded slot once its abandoned execution finishes.
+
+        Runs on the event loop (future done-callback), so the counter
+        needs no lock; the result/exception is consumed so an abandoned
+        failure never logs as "exception was never retrieved".
+        """
+        self._stranded -= 1
+        if not call.cancelled():
+            call.exception()
 
     def _result_response(
         self, result: TaskResult, key: str
@@ -533,6 +594,14 @@ class CompileService:
         if kind not in known_kinds():
             raise ValueError(
                 f"unknown task kind {kind!r} (known: {list(known_kinds())})"
+            )
+        if str(kind).startswith("_") and not self.config.allow_fault_kinds:
+            # Fault-injection kinds run arbitrary failure paths —
+            # _exit would os._exit() the service process itself when
+            # jobs=1 runs the point inline on an executor thread.
+            raise ValueError(
+                f"fault-injection kind {kind!r} is disabled; set "
+                f"ServiceConfig.allow_fault_kinds for test deployments"
             )
         circuit = submission.get("circuit")
         bench = submission.get("bench")

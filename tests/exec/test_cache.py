@@ -8,6 +8,8 @@ of :class:`repro.exec.cache.ResultCache`, and corrupt-entry tolerance.
 from __future__ import annotations
 
 import json
+import os
+import time
 from pathlib import Path
 
 from repro import MercedConfig
@@ -173,6 +175,26 @@ def test_flush_removes_orphaned_temp_files(tmp_path):
     # real entries are untouched
     assert cache.get("ab" * 32) == {"v": 1}
     assert cache.flush() == 0
+
+
+def test_flush_age_threshold_spares_active_writers(tmp_path):
+    """``flush(min_age_s=...)`` only reaps temp files old enough to be
+    provably orphaned — a still-running writer's fresh temp file must
+    survive so its ``os.replace`` can land."""
+    cache = ResultCache(tmp_path)
+    cache.put("ab" * 32, {"v": 1})
+    shard = tmp_path / "ab"
+    stale = shard / ".tmp-stale.json"
+    fresh = shard / ".tmp-fresh.json"
+    stale.write_text("{}")
+    fresh.write_text("{}")
+    past = time.time() - 3600.0
+    os.utime(stale, (past, past))
+    assert cache.flush(min_age_s=60.0) == 1
+    assert not stale.exists()
+    assert fresh.exists()
+    # quiesced flush (the default) still reaps everything
+    assert cache.flush() == 1
 
 
 def test_farm_survives_unserializable_result(tmp_path):

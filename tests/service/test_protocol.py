@@ -82,6 +82,23 @@ def test_oversized_head_is_431():
     assert err.value.status == 431
 
 
+def test_header_flood_aborts_early_with_431():
+    """A head streamed without its blank-line terminator must produce
+    the 431 as soon as MAX_HEAD_BYTES accumulate — the parser may not
+    sit buffering up to the (much larger) stream limit."""
+
+    async def go():
+        reader = asyncio.StreamReader(limit=MAX_BODY_BYTES + 64 * 1024)
+        # > MAX_HEAD_BYTES of headers, no terminator, and no EOF: the
+        # pre-fix whole-head read would block here until timeout.
+        reader.feed_data(b"GET / HTTP/1.1\r\n" + b"X-Flood: y\r\n" * 4096)
+        with pytest.raises(ProtocolError) as err:
+            await asyncio.wait_for(read_request(reader), 5.0)
+        assert err.value.status == 431
+
+    asyncio.run(go())
+
+
 def test_malformed_request_line_is_400():
     with pytest.raises(ProtocolError) as err:
         _parse(b"NONSENSE\r\n\r\n")

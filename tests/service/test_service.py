@@ -14,6 +14,7 @@ drain, and bit-identical payloads versus the inline pipeline.
 from __future__ import annotations
 
 import json
+import socket
 import threading
 import time
 
@@ -40,6 +41,9 @@ def boot(tmp_path):
             queue_capacity=16,
             timeout=60.0,
             cache_dir=str(tmp_path / f"cache{len(handles)}"),
+            # the suite drives failure paths with _spin/_sleep; real
+            # deployments keep fault-injection kinds locked out
+            allow_fault_kinds=True,
         )
         settings.update(overrides)
         handle = ServiceThread(ServiceConfig(**settings)).start()
@@ -113,6 +117,18 @@ def test_metrics_document_shape(boot):
     }
     assert set(payload["cache"]) >= {"hits", "misses", "stores", "errors"}
     assert "timeouts_unenforced" in payload["watchdog"]
+
+
+def test_tcp_probe_disconnect_gets_no_spurious_error(boot):
+    """A probe that connects, sends nothing, and reads must see a clean
+    close — not the handler's pre-initialized 500 payload."""
+    handle, _ = boot()
+    with socket.create_connection(
+        ("127.0.0.1", handle.port), timeout=5.0
+    ) as sock:
+        sock.settimeout(5.0)
+        sock.shutdown(socket.SHUT_WR)
+        assert sock.recv(65536) == b""
 
 
 def test_unknown_route_and_bad_method(boot):
@@ -276,6 +292,55 @@ def test_submission_timeout_is_capped_by_service_ceiling(boot):
     assert "0.3" in row["error"]
 
 
+def test_belt_timeout_strands_slot_and_counts_against_capacity(boot):
+    """When the in-thread watchdog is stuck behind a blocking C call
+    (``_sleep``), the belt answers the client — and the abandoned
+    executor thread must keep counting against admission capacity until
+    it actually finishes, then be released."""
+    handle, client = boot(
+        workers=1,
+        queue_capacity=1,
+        timeout=0.2,
+        belt_slack=0.3,
+        drain_grace=1.0,
+    )
+    row = client.compile_point(kind="_sleep", params={"seconds": 3.0})
+    assert row["ok"] is False
+    assert row["error_type"] == "SweepTimeoutError"
+    assert "watchdog did not fire" in row["error"]
+
+    health = client.wait_ready()
+    assert health["queue_depth"] == 0
+    assert health["stranded"] == 1
+    # the stranded thread still owns the only worker: reject, don't queue
+    with pytest.raises(ServiceRejectedError) as err:
+        client.compile_point(kind="_sleep", params={"seconds": 0.05})
+    assert err.value.status == 429
+
+    # once the blocking call returns the slot is released again
+    give_up = time.perf_counter() + 10.0
+    while time.perf_counter() < give_up:
+        if client.wait_ready()["stranded"] == 0:
+            break
+        time.sleep(0.05)
+    assert client.wait_ready()["stranded"] == 0
+    ok = client.compile_point(kind="_sleep", params={"seconds": 0.05})
+    assert ok["ok"] is True
+
+
+def test_drain_is_bounded_despite_stranded_thread(boot):
+    """drain_grace is a real upper bound: a stranded executor thread
+    (blocking C call outliving its belt) must not hang the drain."""
+    handle, client = boot(
+        workers=1, timeout=0.2, belt_slack=0.3, drain_grace=0.5
+    )
+    row = client.compile_point(kind="_sleep", params={"seconds": 4.0})
+    assert row["error_type"] == "SweepTimeoutError"
+    t0 = time.perf_counter()
+    handle.drain(timeout=30.0)
+    assert time.perf_counter() - t0 < 3.0, "drain must not join stranded work"
+
+
 # ----------------------------------------------------------------------
 # graceful drain
 # ----------------------------------------------------------------------
@@ -324,6 +389,20 @@ def test_unknown_submission_key_is_400(boot):
         client.compile_point(circuit="s27", bogus=1)
     assert err.value.status == 400
     assert "bogus" in err.value.payload["error"]
+
+
+def test_fault_injection_kinds_locked_out_by_default(boot):
+    """Underscore-prefixed kinds run failure paths (up to os._exit of
+    the service process) and must never be admitted from the network
+    unless a test deployment opts in."""
+    _, client = boot(allow_fault_kinds=False)
+    for kind in ("_exit", "_sleep", "_spin", "_raise"):
+        with pytest.raises(ServiceRejectedError) as err:
+            client.compile_point(kind=kind, params={})
+        assert err.value.status == 400
+        assert "fault-injection" in err.value.payload["error"]
+    # the opt-in is what the rest of this suite runs under
+    assert client.metrics()["counters"]["admitted"] == 0
 
 
 def test_unknown_kind_is_400(boot):
