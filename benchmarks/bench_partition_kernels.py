@@ -5,16 +5,20 @@ layer (``repro.graphs.csr``) that the partition + retiming pipeline runs
 on.  The workload is the post-saturation pipeline on the largest
 default-bundled ISCAS circuit (s5378): ``Make_Group`` (epoch-stamped DFS
 + lazy boundary heaps) and ``Assign_CBIT`` (incremental merge-gain) on
-the full graph, then the cut-retiming solver (SPFA + periodic-tail
-replay) on a fixed stride-16 subsample of the cut set — once through the
-compiled kernels and once through the string-keyed reference path.
+the full graph, then the cut-retiming solver (cycle-deficit certificate
++ periodic-tail replay) on a stride-16 subsample of the cut set — once
+through the compiled kernels and once through the string-keyed
+reference path.
 
-The retiming stage is subsampled because s5378's full 1120-net cut set
-drives hundreds of infeasible drop rounds at ~1.5–3 s each through the
-reference Bellman–Ford (10+ minutes for that path alone); the stride-16
-subsample (70 cuts, ~35 drop rounds) keeps the reference run around a
-minute while still exercising the infeasible-round fast-forward on the
-same 2814-variable constraint systems.  Saturation is run once up front
+The subsample exists **only** because this bench must run the dense
+reference twin for its bit-identity assertion, and s5378's full
+1120-net cut set drives ~675 infeasible drop rounds at ~1.5–3 s each
+through the reference Bellman–Ford (10+ minutes for that path alone).
+The stride-16 subsample (70 cuts, ~35 drop rounds) keeps the reference
+run around a minute while exercising the same 2814-variable constraint
+systems.  The *benchmark record* for the full cut set — no
+subsampling — is ``BENCH_partition.json``, produced by
+``scripts/bench_trend.py``, which runs the compiled solver only.  Saturation is run once up front
 and its flow state restored before each run, so the comparison times
 exactly the kernels this PR compiled — and the bench asserts the two
 paths are **bit-identical** (same clusters, cuts, merge choices, lags,
@@ -34,10 +38,11 @@ from repro.retiming.solve import solve_cut_retiming
 MIN_SPEEDUP = 3.0
 CIRCUIT = "s5378"  # largest circuit bundled in the default bench set
 LK = 16
-#: Retiming runs on cuts[::16] — the full cut set needs 10+ minutes in
-#: the reference solver (see module docstring); the subsample keeps the
-#: bench tractable with the identical per-round constraint systems.
-RETIMING_CUT_STRIDE = 16
+#: Retiming runs on cuts[::16] in THIS BENCH ONLY, because the dense
+#: reference twin needed for the bit-identity assertion takes 10+
+#: minutes on the full cut set (see module docstring).  Full-cut-set
+#: numbers are tracked by scripts/bench_trend.py -> BENCH_partition.json.
+REFERENCE_COMPARE_STRIDE = 16
 
 
 def snapshot_flow(graph):
@@ -61,7 +66,7 @@ def run_pipeline(graph, scc_index, config, snap, use_compiled):
         use_compiled=use_compiled,
     )
     merged = assign_cbit(group.partition, use_compiled=use_compiled)
-    cuts = merged.partition.cut_nets()[::RETIMING_CUT_STRIDE]
+    cuts = merged.partition.cut_nets()[::REFERENCE_COMPARE_STRIDE]
     solution = solve_cut_retiming(graph, cuts, use_compiled=use_compiled)
     return {
         "n_splits": group.n_splits,
@@ -81,6 +86,7 @@ def run_pipeline(graph, scc_index, config, snap, use_compiled):
         "rho": solution.retiming.rho,
         "covered": sorted(solution.covered_cuts),
         "dropped": sorted(solution.dropped_cuts),
+        "unconstrained": sorted(solution.unconstrained_cuts),
         "iterations": solution.iterations,
     }
 
@@ -129,6 +135,6 @@ def test_partition_kernel_speedup(benchmark, output_dir):
         f"{CIRCUIT} partition+retiming (post-saturation, l_k={LK}, "
         f"{len(compiled_payload['cut'])} cuts, "
         f"{compiled_payload['n_splits']} splits, retiming on "
-        f"{len(compiled_payload['cut_nets'])} cuts at stride "
-        f"{RETIMING_CUT_STRIDE}):\n" + table,
+        f"{len(compiled_payload['cut_nets'])} cuts at reference-compare "
+        f"stride {REFERENCE_COMPARE_STRIDE}):\n" + table,
     )

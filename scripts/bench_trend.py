@@ -9,13 +9,22 @@ totals (``dfs_visits``, ``boundary_pops``, ``bf_relaxations``,
 PRs can diff both time and *work* — a counter regression flags an
 algorithmic change even when wall clock is noisy on shared runners.
 
-On s5378 the retiming stage runs on a stride-16 subsample of the cut
-set, matching the bench: the reference-equivalent full cut set drives
-hundreds of drop rounds and is not a reasonable trend workload.
+Every circuit retimes its **full** cut set (``retiming_cut_stride`` is
+recorded as 1 and checked).  Earlier revisions silently subsampled
+s5378's cuts at stride 16 because the solver re-ran a budget-tripping
+relaxation per drop round; the incremental solver's cycle-deficit
+certificate removed that wall, so the stride map is gone.
 
 Run (writes the baseline in place):
     PYTHONPATH=src python scripts/bench_trend.py
     PYTHONPATH=src python scripts/bench_trend.py --out other.json
+
+Regression-guard mode (CI): re-runs the workload and compares the
+deterministic fields against the committed baseline without writing —
+exits 2 when ``dropped_cuts`` changes, ``bf_relaxations`` grows by more
+than 10%, or a subsampled (stride ≠ 1) run would be compared against a
+full-cut-set baseline:
+    PYTHONPATH=src python scripts/bench_trend.py --check --circuits s641
 """
 
 from __future__ import annotations
@@ -53,9 +62,8 @@ CIRCUITS = [
     "s5378",
 ]
 
-#: Circuits whose retiming stage runs on a cut subsample (see module
-#: docstring); every other circuit retimes its full cut set.
-RETIMING_CUT_STRIDE = {"s5378": 16}
+#: Allowed relative growth of ``bf_relaxations`` before --check fails.
+RELAX_TOLERANCE = 1.10
 
 LK = 16
 SEED = 1996
@@ -78,7 +86,6 @@ def run_circuit(name: str) -> dict:
     graph = build_circuit_graph(load_circuit(name), with_po_nodes=False)
     scc_index = SCCIndex(graph)
     saturate_network(graph, config)  # not timed: this PR's kernels start below
-    stride = RETIMING_CUT_STRIDE.get(name, 1)
     t0 = time.perf_counter()
     with profiled(name) as trace:
         with stage("make_group"):
@@ -87,7 +94,7 @@ def run_circuit(name: str) -> dict:
             )
         with stage("assign_cbit"):
             merged = assign_cbit(group.partition)
-        cuts = merged.partition.cut_nets()[::stride]
+        cuts = merged.partition.cut_nets()
         with stage("retiming"):
             solution = solve_cut_retiming(graph, cuts)
     seconds = time.perf_counter() - t0
@@ -99,9 +106,51 @@ def run_circuit(name: str) -> dict:
         "counters": dict(sorted(trace.counters.items())),
         "n_clusters": len(merged.partition.clusters),
         "n_cuts_retimed": len(cuts),
-        "retiming_cut_stride": stride,
+        "retiming_cut_stride": 1,
         "dropped_cuts": len(solution.dropped_cuts),
+        "covered_cuts": len(solution.covered_cuts),
+        "unconstrained_cuts": len(solution.unconstrained_cuts),
     }
+
+
+def check_circuit(name: str, result: dict, baseline: dict) -> list:
+    """Compare one fresh run against the committed baseline entry.
+
+    Returns a list of human-readable regression strings (empty = pass).
+    Deterministic fields must match exactly; ``bf_relaxations`` is a
+    work metric and may grow up to :data:`RELAX_TOLERANCE`; any stride
+    other than 1 — on either side — is a subsampled benchmark and fails
+    loudly rather than overwriting or matching a full-cut baseline.
+    """
+    problems = []
+    base = baseline.get("circuits", {}).get(name)
+    if base is None:
+        return [f"{name}: no committed baseline entry"]
+    if base.get("retiming_cut_stride", 1) != 1:
+        problems.append(
+            f"{name}: committed baseline is subsampled "
+            f"(stride {base['retiming_cut_stride']}); regenerate it at "
+            f"stride 1 before guarding against it"
+        )
+    if result["retiming_cut_stride"] != 1:
+        problems.append(
+            f"{name}: run is subsampled (stride "
+            f"{result['retiming_cut_stride']}); refusing to compare "
+            f"against a full-cut-set baseline"
+        )
+    for field in ("dropped_cuts", "n_cuts_retimed", "n_clusters"):
+        if field in base and result[field] != base[field]:
+            problems.append(
+                f"{name}: {field} changed {base[field]} -> {result[field]}"
+            )
+    base_relax = base.get("counters", {}).get("bf_relaxations")
+    now_relax = result["counters"].get("bf_relaxations")
+    if base_relax and now_relax and now_relax > base_relax * RELAX_TOLERANCE:
+        problems.append(
+            f"{name}: bf_relaxations regressed {base_relax} -> {now_relax} "
+            f"(> {RELAX_TOLERANCE:.0%} of baseline)"
+        )
+    return problems
 
 
 def main(argv=None) -> None:
@@ -110,7 +159,19 @@ def main(argv=None) -> None:
     parser.add_argument(
         "--circuits", nargs="*", default=CIRCUITS, metavar="NAME"
     )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="compare against the committed baseline instead of writing; "
+        "exit 2 on dropped_cuts / bf_relaxations / stride regressions",
+    )
     args = parser.parse_args(argv)
+    baseline = None
+    if args.check:
+        if not args.out.exists():
+            print(f"--check: no baseline at {args.out}", file=sys.stderr)
+            raise SystemExit(2)
+        baseline = json.loads(args.out.read_text())
     payload = {
         "_meta": {
             "workload": "partition+retiming, compiled kernels",
@@ -124,6 +185,7 @@ def main(argv=None) -> None:
         },
         "circuits": {},
     }
+    problems = []
     for name in args.circuits:
         result = run_circuit(name)
         payload["circuits"][name] = result
@@ -132,6 +194,16 @@ def main(argv=None) -> None:
             f"{name:>10}: {result['seconds']:7.3f}s  "
             + "  ".join(f"{k}={counters[k]}" for k in sorted(counters))
         )
+        if baseline is not None:
+            problems.extend(check_circuit(name, result, baseline))
+    if args.check:
+        if problems:
+            for p in problems:
+                print(f"REGRESSION {p}", file=sys.stderr)
+            raise SystemExit(2)
+        print(f"--check: {len(payload['circuits'])} circuit(s) match "
+              f"{args.out}")
+        return
     args.out.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {args.out}")
 

@@ -101,6 +101,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="solve and apply the cut retiming; report the register moves",
     )
     parser.add_argument(
+        "--retiming-solver",
+        choices=["auto", "jacobi", "spfa", "reference", "mcf"],
+        default="auto",
+        help="cut-retiming backend: auto/jacobi/spfa/reference are "
+        "bit-identical (vectorized, queue-based, or dense reference "
+        "rounds); mcf is the experimental min-cost-flow formulation",
+    )
+    parser.add_argument(
         "--profile",
         nargs="?",
         const="-",
@@ -540,7 +548,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 graph = build_circuit_graph(netlist, with_po_nodes=True)
                 with perf_stage("retime"):
                     solution = solve_cut_retiming(
-                        graph, report.partition.cut_nets()
+                        graph,
+                        report.partition.cut_nets(),
+                        solver=args.retiming_solver,
                     )
             finally:
                 if trace is not None:
@@ -550,7 +560,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(
                 f"retiming: {len(solution.covered_cuts)} cut(s) covered by "
                 f"functional DFFs, {len(solution.dropped_cuts)} need MUXed "
-                f"A_CELLs; registers {retimed.n_registers_before} -> "
+                f"A_CELLs, {len(solution.unconstrained_cuts)} "
+                f"unconstrained; registers {retimed.n_registers_before} -> "
                 f"{retimed.n_registers_after}"
             )
         emitted = netlist

@@ -51,7 +51,11 @@ def count_retimable_cuts(
             raise ReproError("solver method needs the circuit graph")
         from ..retiming.solve import solve_cut_retiming
 
-        return len(solve_cut_retiming(graph, cut_nets).covered_cuts)
+        solution = solve_cut_retiming(graph, cut_nets)
+        # unconstrained cuts (no via-head edge) cost nothing to cover, so
+        # they count as retimable for area purposes even though the
+        # solution reports them separately from covered_cuts
+        return len(solution.covered_cuts) + len(solution.unconstrained_cuts)
     if method != "scc-budget":
         raise ReproError(f"unknown retimability method {method!r}")
     per_scc: Dict[int, int] = {}

@@ -211,7 +211,8 @@ class CompilationArtifacts:
         if self.retiming is not None:
             lines.append(
                 f"retiming: {len(self.retiming.covered_cuts)} covered, "
-                f"{len(self.retiming.dropped_cuts)} muxed"
+                f"{len(self.retiming.dropped_cuts)} muxed, "
+                f"{len(self.retiming.unconstrained_cuts)} unconstrained"
             )
         if self.bist is not None:
             lines.append(
@@ -228,6 +229,7 @@ def compile_circuit(
     emit_bist: bool = True,
     pin_io: bool = False,
     bist_kwargs: Optional[dict] = None,
+    retiming_solver: str = "auto",
 ) -> CompilationArtifacts:
     """One-call BIST compilation: partition, retime, emit hardware.
 
@@ -242,6 +244,11 @@ def compile_circuit(
         pin_io: strict I/O-latency-preserving retiming (host condition).
         bist_kwargs: forwarded to
             :func:`repro.cbit.insert.insert_test_hardware`.
+        retiming_solver: feasibility backend for the cut-retiming solve
+            (see :func:`repro.retiming.solve.solve_cut_retiming`):
+            ``"auto"``/``"jacobi"``/``"spfa"``/``"reference"`` are
+            bit-identical; ``"mcf"`` is the experimental min-cost-flow
+            backend.
 
     Example:
         >>> from repro import load_circuit, MercedConfig
@@ -261,7 +268,10 @@ def compile_circuit(
 
         graph = build_circuit_graph(netlist, with_po_nodes=True)
         retiming = solve_cut_retiming(
-            graph, report.partition.cut_nets(), pin_io=pin_io
+            graph,
+            report.partition.cut_nets(),
+            pin_io=pin_io,
+            solver=retiming_solver,
         )
         retimed = apply_retiming(netlist, retiming.retiming.rho)
     if emit_bist:

@@ -7,7 +7,13 @@ from .model import (
     retimed_path_registers,
     retimed_weight,
 )
-from .solve import RetimingSolution, bellman_ford_constraints, solve_cut_retiming
+from .solve import (
+    RetimingSolution,
+    bellman_ford_constraints,
+    solve_cut_retiming,
+    solve_cut_retiming_reference,
+)
+from .mincost import solve_cut_retiming_mcf
 from .apply import RetimedCircuit, apply_retiming, trace_to_driver
 from .legality import connection_deltas, infer_retiming, verify_retiming
 from .initial_state import check_equivalence, find_equivalent_initial_state
@@ -21,6 +27,8 @@ __all__ = [
     "RetimingSolution",
     "bellman_ford_constraints",
     "solve_cut_retiming",
+    "solve_cut_retiming_reference",
+    "solve_cut_retiming_mcf",
     "RetimedCircuit",
     "apply_retiming",
     "trace_to_driver",

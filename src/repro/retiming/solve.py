@@ -13,27 +13,44 @@ some circuit cycle is asked to hold more registers than it owns
 the offending cycle one at a time (those cuts keep their MUXed A_CELLs)
 until the system is feasible.
 
-The default solve path interns the constraint graph to integer arrays
-once and runs a queue-based (SPFA-style) relaxation that terminates as
-soon as the queue drains, instead of the reference's dense
-O(V·E) passes.  Initialising every variable to 0 makes the fixed point
-the shortest-path tree from an implicit super-source, which is unique —
-so the feasible assignment is bit-identical to
-:func:`bellman_ford_constraints` regardless of relaxation order.  When
-the relaxation budget trips (suspected negative cycle), the round is
-re-solved by :func:`_bf_rounds`, an interned replay of the reference
-Bellman–Ford that fires the same updates in the same order but
-fast-forwards analytically through the periodic tail of infeasible
-systems — so the *canonical* negative cycle (and hence the dropped-cut
-choice) is also unchanged, without simulating every dense pass.
+The compiled solve path interns the constraint graph to integer arrays
+once and treats the round loop as an *incremental* sequence of solves:
+
+* **Cycle-deficit certificate.**  Dropping a victim raises the cost of
+  its edges by exactly 1, so the total cost of the previous round's
+  negative cycle is trivially maintained across the drop.  While that
+  sum stays negative the same cycle is still negative in the new system
+  — the round is provably infeasible and the solver skips the
+  feasibility attempt entirely, going straight to the canonical replay.
+  On the BENCH circuits almost every round is certified this way, which
+  removes the dominant cost of the old loop (a full budget-tripping
+  SPFA per infeasible round).
+* **Vectorized relaxation sweeps.**  When feasibility is genuinely in
+  question the round is solved by numpy Jacobi sweeps over the interned
+  ``con_u``/``con_v`` arrays (:func:`_jacobi_feasible`); initialising
+  every variable to 0 makes the fixed point the shortest-path tree from
+  an implicit super-source, which is unique — so the feasible
+  assignment is bit-identical to :func:`bellman_ford_constraints`
+  regardless of relaxation order.  Without numpy the queue-based
+  :func:`_spfa_feasible` is used instead (same fixed point).
+* **Canonical replay with in-history fast-forward.**  Infeasible (or
+  capped) rounds are resolved by :func:`_bf_rounds`, an interned replay
+  of the reference Bellman–Ford that fires the same updates in the same
+  order but fast-forwards analytically through the periodic tail — so
+  the *canonical* negative cycle (and hence the dropped-cut choice) is
+  unchanged, without simulating every dense pass.
+
+An experimental min-cost-flow backend (``solver="mcf"``, see
+:mod:`repro.retiming.mincost`) solves the same drop-minimisation as one
+min-cost circulation instead of a greedy victim loop; it is *not*
+bit-identical to the reference and exists for evaluation.
 """
 
 from __future__ import annotations
 
-from array import array
 from collections import deque
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from ..errors import RetimingError
@@ -42,6 +59,11 @@ from ..graphs.paths import WeightedEdge, register_weighted_edges
 from ..perf import count as perf_count
 from .model import Retiming, retimed_weight
 
+try:  # numpy accelerates the feasibility sweeps; everything works without
+    import numpy as _np
+except Exception:  # pragma: no cover - exercised via the spfa solver path
+    _np = None
+
 __all__ = [
     "RetimingSolution",
     "solve_cut_retiming",
@@ -49,18 +71,34 @@ __all__ = [
     "bellman_ford_constraints",
 ]
 
+#: Passes of firing history the replay retains for periodicity detection.
+#: Bounds memory on huge SCCs; periods observed on the BENCH circuits are
+#: dozens of passes, far below the cap.
+_RING_LIMIT = 1024
+
 
 @dataclass
 class RetimingSolution:
-    """Result of :func:`solve_cut_retiming`."""
+    """Result of :func:`solve_cut_retiming`.
+
+    ``covered_cuts`` are cut nets the solved retiming *guarantees* a
+    register on; ``dropped_cuts`` sat on register-starved cycles and
+    keep their MUXed A_CELLs; ``unconstrained_cuts`` never generated a
+    constraint at all (their net heads no register-weighted edge — e.g.
+    dangling or mid-via-only nets), so the solver neither covered nor
+    dropped them.  They were historically folded into ``covered_cuts``,
+    inflating :attr:`coverage`; they are now reported separately.
+    """
 
     retiming: Retiming
     covered_cuts: Set[str]  # cut nets guaranteed a register (A_CELL at 0.9)
     dropped_cuts: Set[str]  # cut nets needing MUXed A_CELLs (2.3)
     iterations: int
+    unconstrained_cuts: Set[str] = field(default_factory=set)
 
     @property
     def coverage(self) -> float:
+        """Fraction of *constrained* cuts the retiming covers."""
         total = len(self.covered_cuts) + len(self.dropped_cuts)
         return len(self.covered_cuts) / total if total else 1.0
 
@@ -158,11 +196,69 @@ def _spfa_feasible(
     return dist, relaxations
 
 
+def _jacobi_prep(con_u: List[int]):
+    """Precompute the segmented-minimum layout for :func:`_jacobi_feasible`.
+
+    Sorts constraints by target node once per solve; the per-round sweep
+    then reduces each target's candidate bounds with one
+    ``minimum.reduceat``.  Returns ``None`` when numpy is unavailable or
+    there are no constraints.
+    """
+    if _np is None or not con_u:
+        return None
+    cu = _np.asarray(con_u, dtype=_np.int64)
+    order = _np.argsort(cu, kind="stable")
+    cu_ord = cu[order]
+    seg_nodes, seg_starts = _np.unique(cu_ord, return_index=True)
+    return order, seg_nodes, seg_starts
+
+
+def _jacobi_feasible(
+    n: int,
+    con_v: List[int],
+    cost: List[int],
+    prep,
+    max_sweeps: int,
+) -> Tuple[Optional[List[int]], int]:
+    """Vectorized Jacobi sweeps over the interned constraint arrays.
+
+    Each sweep computes every constraint's bound ``dist[v] + c`` in one
+    shot and lowers each target to the minimum of its incoming bounds
+    (``minimum.reduceat`` over the target-sorted layout from
+    :func:`_jacobi_prep`).  A sweep with no change is a fixed point —
+    all constraints satisfied — and the all-zero-start fixed point of a
+    difference-constraint system is unique, so the result is
+    bit-identical to :func:`bellman_ford_constraints` (and to
+    :func:`_spfa_feasible`) on feasible systems.  Feasible systems
+    converge within ``n`` sweeps (shortest paths have < ``n`` hops);
+    returns ``(None, relaxations)`` when ``max_sweeps`` is exhausted —
+    the caller resolves those rounds exactly with :func:`_bf_rounds`, so
+    a tight cap costs time on deep feasible systems, never correctness.
+    """
+    np = _np
+    order, seg_nodes, seg_starts = prep
+    cv_ord = np.asarray(con_v, dtype=np.int64)[order]
+    cost_ord = np.asarray(cost, dtype=np.int64)[order]
+    dist = np.zeros(n, dtype=np.int64)
+    relaxations = 0
+    for _ in range(max_sweeps):
+        bounds = dist[cv_ord] + cost_ord
+        mins = np.minimum.reduceat(bounds, seg_starts)
+        old = dist[seg_nodes]
+        new = np.minimum(old, mins)
+        if np.array_equal(new, old):
+            return [int(x) for x in dist], relaxations
+        relaxations += int(np.count_nonzero(new < old))
+        dist[seg_nodes] = new
+    return None, relaxations
+
+
 def _bf_rounds(
     n: int,
     con_u: List[int],
     con_v: List[int],
     cost: List[int],
+    counters: Optional[Dict[str, int]] = None,
 ) -> Tuple[Optional[List[int]], Optional[List[int]]]:
     """Interned replay of :func:`bellman_ford_constraints`.
 
@@ -171,123 +267,193 @@ def _bf_rounds(
     evolve identically — but *fast-forwards* through the periodic tail
     that dominates infeasible systems.  Once negative cycles are the
     only thing still relaxing, the firing pattern repeats with some
-    period ``P`` (set by how the relaxation wavefront rotates around
-    the starved cycles; dozens to hundreds of passes on big ISCAS
-    SCCs) and every ``dist`` shifts by a constant per-period delta.
+    period ``P`` (set by how the relaxation wavefront rotates around the
+    starved cycles) and every ``dist`` shifts by a constant per-period
+    delta.
 
-    Detection is two-phase so normal passes stay lean.  Each pass
-    hashes its firing sequence; when a hash recurs ``P`` passes later,
-    the replay records the next ``2P`` passes (sequences, scan-time
-    margins, and ``dist`` snapshots at the three period boundaries)
-    and verifies exact periodicity: the two recorded periods must fire
-    identical sequences and produce identical period deltas.  Every
-    scan-time value is then an affine function (unit coefficient) of
-    the period-start ``dist``, so all margins move linearly per period
-    — the replay computes the first period at which any margin would
-    change firing sign and jumps whole periods up to it (or to pass
-    ``n``) by advancing ``dist`` analytically.  ``pred`` and the
-    last-updated node are unchanged across jumped periods because
-    every one of them fires the recorded pattern.  The final ``pred``
-    state, the canonical negative cycle walked from it, and any
-    feasible assignment are therefore bit-identical to the reference
-    without simulating all ``n`` passes.
+    Every pass appends its firing sequence and firing deltas to a
+    history ring, so when a sequence hash recurs ``P`` passes later the
+    replay verifies periodicity *immediately from history* — the two
+    most recent periods must fire identical sequences and produce
+    identical per-node deltas — instead of simulating 2·``P`` further
+    recording passes the way earlier revisions did.  Every scan-time
+    value is an affine function (unit coefficient) of the period-start
+    ``dist``, so all margins move linearly per period: the replay caps
+    the jump at the first period where any margin would change firing
+    sign and advances ``dist`` analytically by whole periods.  Fired
+    margins come straight from the ring; idle constraints are screened
+    by their per-period drift (``Δdist[v] − Δdist[u]``, almost always
+    ≥ 0) and only the drifting-negative few have their exact scan-time
+    margins reconstructed by replaying one period of firing events.
+    ``pred`` and the last-updated node are unchanged across jumped
+    periods because every one of them fires the recorded pattern.  The
+    final ``pred`` state, the canonical negative cycle walked from it,
+    and any feasible assignment are therefore bit-identical to the
+    reference without simulating all ``n`` passes.
+
+    ``counters`` (optional) accumulates ``"firings"`` and ``"jumps"``
+    for perf accounting.
     """
     m = len(cost)
     dist = [0] * n
     pred = [-1] * n
     updated = -1
     it = 0
-    # (v, c, u) per constraint: one tuple unpack per scan beats three
-    # indexed array reads in the pass loop, which dominates runtime
-    triples = list(zip(con_v, cost, con_u))
-    hashes: List[int] = []  # firing-sequence hash per simulated pass
-    last_seen: Dict[int, int] = {}  # sequence hash → latest pass index
-    rec = None  # (period, seqs, margins_rows, snap_start, snap_mid)
+    # (v, c, u, idx) per constraint: one flat tuple unpack per scan beats
+    # indexed array reads (and enumerate's nested unpack) in the pass
+    # loop, which dominates runtime
+    quads = list(zip(con_v, cost, con_u, range(m)))
+    seq_ring: List[List[int]] = []  # firing index list per retained pass
+    mg_ring: List[List[int]] = []  # firing deltas, aligned with seq_ring
+    base = 1  # pass number of seq_ring[0]; passes are numbered from 1
+    last_seen: Dict[int, int] = {}  # firing-sequence hash → latest pass
+    next_try = 0  # skip re-verification until this pass after a miss
+    firings = 0
+    jumps = 0
+    skipped = 0  # passes fast-forwarded rather than simulated
+    tracking = True  # ring bookkeeping; disabled when jumping stops paying
     while it < n:
+        if tracking and it > n // 2 and jumps == 0:
+            # quasi-periodic tail (many interacting cycles, no exact
+            # recurrence): drop the per-firing history bookkeeping and
+            # finish with bare reference passes
+            tracking = False
+            seq_ring.clear()
+            mg_ring.clear()
+            last_seen.clear()
+        if not tracking:
+            updated = -1
+            nfire = 0
+            for v, c, u, idx in quads:
+                nv = dist[v] + c
+                if nv < dist[u]:
+                    dist[u] = nv
+                    pred[u] = idx
+                    nfire += 1
+                    updated = u
+            it += 1
+            if updated < 0:
+                if counters is not None:
+                    counters["firings"] = counters.get("firings", 0) + firings
+                    counters["jumps"] = counters.get("jumps", 0) + jumps
+                    counters["passes"] = (
+                        counters.get("passes", 0) + (it - skipped)
+                    )
+                return dist, None
+            firings += nfire
+            continue
         seq: List[int] = []
+        mgs: List[int] = []
+        fire = seq.append
+        dmg = mgs.append
         updated = -1
-        if rec is None:
-            for idx, (v, c, u) in enumerate(triples):
-                mg = dist[v] + c - dist[u]
-                if mg < 0:
-                    dist[u] += mg
-                    pred[u] = idx
-                    seq.append(idx)
-                    updated = u
-        else:
-            margins = [0] * m
-            for idx, (v, c, u) in enumerate(triples):
-                mg = dist[v] + c - dist[u]
-                margins[idx] = mg
-                if mg < 0:
-                    dist[u] += mg
-                    pred[u] = idx
-                    seq.append(idx)
-                    updated = u
+        for v, c, u, idx in quads:
+            nv = dist[v] + c
+            if nv < dist[u]:
+                dmg(nv - dist[u])
+                dist[u] = nv
+                pred[u] = idx
+                fire(idx)
+                updated = u
         it += 1
         if updated < 0:
+            if counters is not None:
+                counters["firings"] = counters.get("firings", 0) + firings
+                counters["jumps"] = counters.get("jumps", 0) + jumps
+                counters["passes"] = counters.get("passes", 0) + (it - skipped)
             return dist, None
+        firings += len(seq)
+        if len(seq_ring) >= _RING_LIMIT:
+            del seq_ring[: _RING_LIMIT // 4]
+            del mg_ring[: _RING_LIMIT // 4]
+            base += _RING_LIMIT // 4
+        seq_ring.append(seq)
+        mg_ring.append(mgs)
         h = hash(tuple(seq))
-        hashes.append(h)
-        if rec is None:
-            prev_it = last_seen.get(h)
-            last_seen[h] = it
-            if prev_it is None:
-                continue
-            period = it - prev_it
-            if it + 2 * period >= n:
-                continue  # cheaper to finish densely than to verify
-            rec = (period, [], [], dist[:], None)
+        prev = last_seen.get(h, 0)
+        last_seen[h] = it
+        if prev < base:
             continue
-        period, seqs, margin_rows, snap_start, snap_mid = rec
-        if hashes[-1] != hashes[-1 - period]:
-            rec = None  # not periodic after all (or a flip landed)
-            last_seen[h] = it
-            continue
-        seqs.append(seq)
-        margin_rows.append(array("q", margins))
-        if len(seqs) == period:
-            rec = (period, seqs, margin_rows, snap_start, dist[:])
-            continue
-        if len(seqs) < 2 * period:
-            continue
-        # two full periods recorded: verify exact repetition
-        ok = all(seqs[o] == seqs[o + period] for o in range(period))
-        if ok:
-            for i in range(n):
-                if dist[i] - snap_mid[i] != snap_mid[i] - snap_start[i]:
-                    ok = False
-                    break
+        period = it - prev
+        top = len(seq_ring)  # ring index of pass ``it`` is top − 1
+        if 2 * period > top:
+            continue  # need two full periods of retained history
+        if n - it <= period or it < next_try:
+            continue  # nothing worth jumping, or cooling down after a miss
+        # verify exact repetition: passes (it−2P, it−P] vs (it−P, it]
+        ok = True
+        for o in range(1, period + 1):
+            if seq_ring[top - o] != seq_ring[top - period - o]:
+                ok = False
+                break
         if not ok:
-            rec = None
-            last_seen[h] = it
+            continue  # transient still in window; recurrences keep coming
+        delta: Dict[int, int] = {}  # per-node dist delta over last period
+        for q in range(top - period, top):
+            sq = seq_ring[q]
+            mq = mg_ring[q]
+            for j in range(len(sq)):
+                u = con_u[sq[j]]
+                delta[u] = delta.get(u, 0) + mq[j]
+        prev_delta: Dict[int, int] = {}
+        for q in range(top - 2 * period, top - period):
+            sq = seq_ring[q]
+            mq = mg_ring[q]
+            for j in range(len(sq)):
+                u = con_u[sq[j]]
+                prev_delta[u] = prev_delta.get(u, 0) + mq[j]
+        if delta != prev_delta:
+            next_try = it + period
             continue
         # margins move linearly per period: jump whole periods to just
         # before the first firing-sign flip (or to pass n)
         t = (n - it) // period
-        for lmar, pmar in zip(margin_rows[period:], margin_rows[:period]):
+        # (A) fired constraints: ring margins, aligned by the verified
+        # identical sequences; a rising margin stops firing at mg+t·d ≥ 0
+        for o in range(1, period + 1):
             if t <= 0:
                 break
-            if lmar == pmar:  # C-speed: no margin moved at this offset
+            lm = mg_ring[top - o]
+            pm = mg_ring[top - period - o]
+            if lm == pm:  # C-speed: no fired margin moved at this offset
                 continue
-            for mg, pm in zip(lmar, pmar):
-                if mg < 0:
-                    if mg > pm:  # d > 0: fires now, stops at mg + t*d >= 0
-                        safe = (-mg - 1) // (mg - pm)
-                        if safe < t:
-                            t = safe
-                elif mg < pm:  # d < 0: idle now, starts at mg + t*d < 0
-                    safe = mg // (pm - mg)
+            for mg, p in zip(lm, pm):
+                if mg > p:
+                    safe = (-mg - 1) // (mg - p)
                     if safe < t:
                         t = safe
+        # (B) idle constraints: only those whose margin drifts negative
+        # (delta[v] − delta[u] < 0) can start firing; reconstruct their
+        # exact scan-time margins by replaying the period's firing events
+        if t > 0 and delta:
+            cands: List[Tuple[int, int]] = []
+            for j in range(m):
+                d = delta.get(con_v[j], 0) - delta.get(con_u[j], 0)
+                if d < 0:
+                    cands.append((j, d))
+            if cands:
+                t = _idle_flip_cap(
+                    t, period, top, seq_ring, mg_ring,
+                    dist, delta, cands, con_u, con_v, cost,
+                )
         if t > 0:
-            for i in range(n):
-                dist[i] += t * (dist[i] - snap_mid[i])
+            for x, d in delta.items():
+                dist[x] += t * d
             it += t * period
-            hashes.clear()
+            skipped += t * period
+            jumps += 1
+            seq_ring.clear()
+            mg_ring.clear()
+            base = it + 1
             last_seen.clear()
-        rec = None
+            next_try = 0
+        else:
+            next_try = it + period
     # negative cycle: walk predecessors n times to land on the cycle
+    if counters is not None:
+        counters["firings"] = counters.get("firings", 0) + firings
+        counters["jumps"] = counters.get("jumps", 0) + jumps
+        counters["passes"] = counters.get("passes", 0) + (it - skipped)
     node = updated
     for _ in range(n):
         node = con_v[pred[node]]
@@ -302,6 +468,64 @@ def _bf_rounds(
     return None, cycle
 
 
+def _idle_flip_cap(
+    t: int,
+    period: int,
+    top: int,
+    seq_ring: List[List[int]],
+    mg_ring: List[List[int]],
+    dist: List[int],
+    delta: Dict[int, int],
+    cands: List[Tuple[int, int]],
+    con_u: List[int],
+    con_v: List[int],
+    cost: List[int],
+) -> int:
+    """Cap the period jump at the first idle-constraint sign flip.
+
+    ``cands`` holds ``(constraint, drift)`` pairs with negative
+    per-period margin drift.  Walks the last period's passes once,
+    merging the (index-ordered) firing events with the (index-ordered)
+    candidates, so each candidate's *scan-time* margin — the value the
+    dense reference would have computed mid-pass — is reconstructed
+    exactly.  An idle margin ``mg ≥ 0`` drifting by ``d < 0`` per period
+    first fires after ``mg // (−d)`` more periods.  Only nodes in
+    ``delta`` ever move during a verified period, so all other operands
+    read the (end-of-period) ``dist`` directly.
+    """
+    cur = {x: dist[x] - d for x, d in delta.items()}  # period-start values
+    for q in range(top - period, top):
+        fired = seq_ring[q]
+        margins = mg_ring[q]
+        fired_set = set(fired)
+        ei = 0
+        ne = len(fired)
+        for j, d in cands:
+            while ei < ne and fired[ei] < j:
+                u = con_u[fired[ei]]
+                cur[u] = cur[u] + margins[ei]
+                ei += 1
+            if j in fired_set:
+                continue  # fired offsets are handled from the ring
+            v = con_v[j]
+            u = con_u[j]
+            mg = (
+                (cur[v] if v in cur else dist[v])
+                + cost[j]
+                - (cur[u] if u in cur else dist[u])
+            )
+            safe = mg // (-d)
+            if safe < t:
+                t = safe
+                if t <= 0:
+                    return 0
+        while ei < ne:
+            u = con_u[fired[ei]]
+            cur[u] = cur[u] + margins[ei]
+            ei += 1
+    return t
+
+
 def solve_cut_retiming(
     graph: CircuitGraph,
     cut_nets: Iterable[str],
@@ -309,6 +533,7 @@ def solve_cut_retiming(
     max_iterations: int = 100000,
     pin_io: bool = False,
     use_compiled: bool = True,
+    solver: str = "auto",
 ) -> RetimingSolution:
     """Find a legal retiming registering as many cut nets as possible.
 
@@ -323,18 +548,48 @@ def solve_cut_retiming(
             The paper's accounting leaves this off — it accepts latency
             shifts on input/output paths in exchange for covering more
             cuts (Eq. 1 "registers can be added arbitrarily").
-        use_compiled: solve each round with the early-terminating SPFA
-            over interned edge arrays (default); ``False`` runs the
-            reference dense Bellman–Ford every round.  Results (lags,
-            covered/dropped cuts, iteration count) are bit-identical.
+        use_compiled: solve each round over the interned edge arrays with
+            certificate-skipped warm-started rounds (default); ``False``
+            runs the reference dense Bellman–Ford every round.  Results
+            (lags, covered/dropped cuts, iteration count) are
+            bit-identical.
+        solver: feasibility backend for the compiled path.  ``"auto"``
+            picks the vectorized Jacobi sweeps when numpy is available
+            and SPFA otherwise; ``"jacobi"``/``"spfa"`` force one;
+            ``"reference"`` is an alias for ``use_compiled=False``;
+            ``"mcf"`` routes to the experimental min-cost-flow backend
+            (:func:`repro.retiming.mincost.solve_cut_retiming_mcf`),
+            which minimises total requirement shortfall in one
+            circulation and is *not* bit-identical to the greedy
+            reference drop order.
 
     Returns:
         A :class:`RetimingSolution`; its ``retiming`` is legal, every
         edge carrying a covered cut holds ≥ 1 register, and dropped cuts
         are exactly those whose requirements sat on register-starved (or,
-        with ``pin_io``, latency-pinned) paths.
+        with ``pin_io``, latency-pinned) paths.  Cut nets that never
+        generate a constraint are reported in ``unconstrained_cuts``.
     """
     from ..graphs.build import is_po_node
+
+    if solver not in ("auto", "jacobi", "spfa", "reference", "mcf"):
+        raise ValueError(f"unknown retiming solver {solver!r}")
+    if solver == "mcf":
+        from .mincost import solve_cut_retiming_mcf
+
+        return solve_cut_retiming_mcf(
+            graph,
+            cut_nets,
+            edges=edges,
+            max_iterations=max_iterations,
+            pin_io=pin_io,
+        )
+    if solver == "reference":
+        use_compiled = False
+    if solver == "jacobi" and _np is None:  # pragma: no cover - env guard
+        raise RetimingError(
+            "solver='jacobi' requires numpy; use 'auto' or 'spfa'"
+        )
 
     if edges is None:
         edges = register_weighted_edges(graph)
@@ -387,30 +642,53 @@ def solve_cut_retiming(
         adj_start[v + 1] = len(adj_cons)
     io_costs = [c for _u, _v, c in io_constraints]
 
+    # incremental cost array: rebuilt never, bumped by 1 per dropped edge
+    cost = [e.weight - required.get(i, 0) for i, e in enumerate(edges)]
+    cost += io_costs
+    jprep = None
+    if use_compiled and solver in ("auto", "jacobi"):
+        jprep = _jacobi_prep(con_u)
+    jacobi_cap = min(n_vars + 1, 257)
+
     dropped: Set[str] = set()
     iterations = 0
     total_relaxations = 0
+    cert_skips = 0
+    skip_feasible = False  # certificate: last cycle still provably negative
+    replay_counters: Dict[str, int] = {"firings": 0, "jumps": 0}
     while True:
         iterations += 1
-        if iterations > max_iterations:  # pragma: no cover - defensive
-            raise RetimingError("cut-retiming relaxation failed to converge")
-        if use_compiled:
-            cost = [
-                e.weight - required.get(i, 0) for i, e in enumerate(edges)
-            ] + io_costs
-            dist, relaxations = _spfa_feasible(
-                n_vars, adj_start, adj_cons, con_u, cost
+        if iterations > max_iterations:
+            raise RetimingError(
+                f"cut-retiming failed to converge after {iterations - 1} "
+                f"rounds: {len(dropped)} cuts dropped so far, "
+                f"{len(required)} edge requirements remaining"
             )
-            total_relaxations += relaxations
-            if dist is not None:
-                rho = dict(zip(nodes, dist))
-                break
-            # likely infeasible: re-derive the *canonical* negative cycle
-            # via the sparse reference replay, so the victim choice
-            # matches bellman_ford_constraints exactly; if the budget
-            # tripped on a feasible system the replay's assignment is
-            # that same unique fixed point
-            dist, cycle = _bf_rounds(n_vars, con_u, con_v, cost)
+        if use_compiled:
+            dist = None
+            if skip_feasible:
+                cert_skips += 1
+            else:
+                if jprep is not None:
+                    dist, relaxations = _jacobi_feasible(
+                        n_vars, con_v, cost, jprep, jacobi_cap
+                    )
+                else:
+                    dist, relaxations = _spfa_feasible(
+                        n_vars, adj_start, adj_cons, con_u, cost
+                    )
+                total_relaxations += relaxations
+                if dist is not None:
+                    rho = dict(zip(nodes, dist))
+                    break
+            # infeasible (certified or suspected): re-derive the
+            # *canonical* negative cycle via the sparse reference replay,
+            # so the victim choice matches bellman_ford_constraints
+            # exactly; if a feasibility cap tripped on a feasible system
+            # the replay's assignment is that same unique fixed point
+            dist, cycle = _bf_rounds(
+                n_vars, con_u, con_v, cost, counters=replay_counters
+            )
             if dist is not None:
                 rho = dict(zip(nodes, dist))
                 break
@@ -433,10 +711,26 @@ def solve_cut_retiming(
         victim_edge = req_on_cycle[0]
         victim_net = edges[victim_edge].via_nets[0]
         dropped.add(victim_net)
-        for i in cut_edges.get(victim_net, ()):
+        victims = [i for i in cut_edges.get(victim_net, ()) if i in required]
+        if use_compiled:
+            # cycle-deficit certificate: the drop raises each victim
+            # edge's cost by 1, so the cycle's new total is its old total
+            # plus the overlap — still negative means the next round is
+            # provably infeasible and can skip the feasibility attempt
+            deficit = sum(cost[i] for i in cycle)
+            cyc_set = set(cycle)
+            deficit += sum(1 for i in victims if i in cyc_set)
+            skip_feasible = deficit < 0
+            for i in victims:
+                cost[i] += 1
+        for i in victims:
             required.pop(i, None)
 
+    total_relaxations += replay_counters["firings"]
     perf_count("bf_relaxations", total_relaxations)
+    perf_count("retiming_rounds", iterations)
+    perf_count("retiming_cert_skips", cert_skips)
+    perf_count("retiming_replay_jumps", replay_counters["jumps"])
     retiming = Retiming(edges=tuple(edges), rho=rho)
     retiming.assert_legal()
     covered: Set[str] = set()
@@ -447,14 +741,15 @@ def solve_cut_retiming(
             covered.add(net)
         else:  # pragma: no cover - defensive; solver should guarantee this
             dropped.add(net)
-    # cuts whose net never appears as a via head (e.g. dangling) count covered
-    for net in cut_set - covered - dropped:
-        covered.add(net)
+    # cuts whose net never appears as a via head (e.g. dangling) generated
+    # no constraint: neither covered nor dropped — reported separately
+    unconstrained = cut_set - covered - dropped
     return RetimingSolution(
         retiming=retiming,
         covered_cuts=covered,
         dropped_cuts=dropped,
         iterations=iterations,
+        unconstrained_cuts=unconstrained,
     )
 
 
@@ -468,8 +763,8 @@ def solve_cut_retiming_reference(
     """Reference twin of :func:`solve_cut_retiming`.
 
     Solves every round with the dense :func:`bellman_ford_constraints`
-    instead of the interned SPFA relaxation; results are bit-identical
-    (the kernel-equivalence suite asserts this end to end).
+    instead of the certificate-skipped incremental rounds; results are
+    bit-identical (the kernel-equivalence suite asserts this end to end).
     """
     return solve_cut_retiming(
         graph,

@@ -79,6 +79,7 @@ def run_pipeline(netlist, lk, beta, use_compiled):
         "rho": solution.retiming.rho,
         "covered": sorted(solution.covered_cuts),
         "dropped": sorted(solution.dropped_cuts),
+        "unconstrained": sorted(solution.unconstrained_cuts),
         "iterations": solution.iterations,
     }
 
