@@ -1,9 +1,11 @@
 """Repo-root pytest configuration.
 
-Defines the ``--update-golden`` flag here (not in ``tests/conftest.py``)
-because ``pytest_addoption`` must live in a rootdir conftest to be
-registered before collection starts.
+Defines the ``--update-golden`` and ``--run-slow`` flags here (not in
+``tests/conftest.py``) because ``pytest_addoption`` must live in a
+rootdir conftest to be registered before collection starts.
 """
+
+import pytest
 
 
 def pytest_addoption(parser):
@@ -17,3 +19,28 @@ def pytest_addoption(parser):
             "diff before committing!)"
         ),
     )
+    parser.addoption(
+        "--run-slow",
+        action="store_true",
+        default=False,
+        help=(
+            "also run tests marked @pytest.mark.slow (large corpus "
+            "circuits, long differential sweeps); tier-1 skips them"
+        ),
+    )
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "slow: long-running corpus/differential test, needs --run-slow",
+    )
+
+
+def pytest_collection_modifyitems(config, items):
+    if config.getoption("--run-slow"):
+        return
+    skip = pytest.mark.skip(reason="slow test: pass --run-slow to include")
+    for item in items:
+        if "slow" in item.keywords:
+            item.add_marker(skip)

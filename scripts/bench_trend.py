@@ -2,7 +2,9 @@
 
 Runs the compiled-kernel partition + retiming workload (the same shape
 as ``benchmarks/bench_partition_kernels.py``) on every default-bundled
-ISCAS circuit and writes ``BENCH_partition.json`` at the repo root:
+ISCAS circuit plus one generated ``corpus-*`` circuit at claimed scale
+(50k gates, see :mod:`repro.corpus`) and writes ``BENCH_partition.json``
+at the repo root:
 per circuit, the wall-clock seconds per stage and the hot-path counter
 totals (``dfs_visits``, ``boundary_pops``, ``bf_relaxations``,
 ``gain_evals``, ...).  The JSON is committed as a baseline so future
@@ -41,6 +43,11 @@ sys.path.insert(0, str(REPO / "src"))
 
 from repro import MercedConfig  # noqa: E402
 from repro.circuits import load_circuit  # noqa: E402
+from repro.corpus import (  # noqa: E402
+    TREND_SPECS,
+    generate_corpus_circuit,
+    load_corpus_circuit,
+)
 from repro.flow.saturate import saturate_network  # noqa: E402
 from repro.graphs import SCCIndex, build_circuit_graph  # noqa: E402
 from repro.partition import assign_cbit, make_group  # noqa: E402
@@ -49,7 +56,9 @@ from repro.retiming.solve import solve_cut_retiming  # noqa: E402
 
 OUT = REPO / "BENCH_partition.json"
 
-#: Default bench set (matches benchmarks/conftest.py SMALL + MEDIUM).
+#: Default bench set (matches benchmarks/conftest.py SMALL + MEDIUM),
+#: plus one generated corpus circuit at the paper's claimed scale so the
+#: trend file tracks kernel performance well beyond the bundled suite.
 CIRCUITS = [
     "s510",
     "s420.1",
@@ -60,7 +69,22 @@ CIRCUITS = [
     "s838.1",
     "s1423",
     "s5378",
+    "corpus-50k",
 ]
+
+
+def load_trend_circuit(name):
+    """Resolve a circuit name: bundled ISCAS bench or generated corpus.
+
+    ``corpus-*`` names come from :mod:`repro.corpus` — trend-scale specs
+    are regenerated on the fly (deterministic per seed), seed-corpus
+    names load the committed ``benchmarks/corpus`` generation.
+    """
+    if name.startswith("corpus-"):
+        if name in TREND_SPECS:
+            return generate_corpus_circuit(TREND_SPECS[name])
+        return load_corpus_circuit(name)
+    return load_circuit(name)
 
 #: Allowed relative growth of ``bf_relaxations`` before --check fails.
 RELAX_TOLERANCE = 1.10
@@ -69,9 +93,9 @@ LK = 16
 SEED = 1996
 
 
-def config_for(name: str) -> MercedConfig:
+def config_for(netlist) -> MercedConfig:
     """Size-scaled config, mirroring benchmarks/conftest.bench_config."""
-    stats = load_circuit(name).stats()
+    stats = netlist.stats()
     size = stats.n_dffs + stats.n_gates + stats.n_inverters
     return MercedConfig(
         lk=LK,
@@ -82,8 +106,9 @@ def config_for(name: str) -> MercedConfig:
 
 
 def run_circuit(name: str) -> dict:
-    config = config_for(name)
-    graph = build_circuit_graph(load_circuit(name), with_po_nodes=False)
+    netlist = load_trend_circuit(name)
+    config = config_for(netlist)
+    graph = build_circuit_graph(netlist, with_po_nodes=False)
     scc_index = SCCIndex(graph)
     saturate_network(graph, config)  # not timed: this PR's kernels start below
     t0 = time.perf_counter()

@@ -41,7 +41,24 @@ from ..netlist.gates import GateType
 from ..netlist.netlist import Netlist
 from .profiles import CircuitProfile, profile_by_name
 
-__all__ = ["generate_circuit", "generate_by_name"]
+__all__ = ["generate_circuit", "generate_by_name", "resolve_seed"]
+
+
+def resolve_seed(profile_name: str, seed: Optional[int]) -> int:
+    """The single seed every RNG draw in one generation flows from.
+
+    ``None`` resolves to ``zlib.crc32(profile_name)`` so the default
+    circuit for a profile is stable across sessions and platforms.  The
+    resolved seed feeds exactly one ``random.Random`` (stdlib Mersenne
+    Twister, platform-independent), which is threaded through every
+    helper — no helper may construct its own RNG or touch the global
+    ``random`` module, so ``(profile, seed)`` → byte-identical
+    ``.bench`` output everywhere.  ``tests/circuits/test_determinism.py``
+    pins committed digests to keep this true.
+    """
+    if seed is not None:
+        return seed
+    return zlib.crc32(profile_name.encode())
 
 #: 2-unit base gate types and their 3-unit upgrade targets.
 _BASE_TYPES = (GateType.NAND, GateType.NOR)
@@ -52,10 +69,10 @@ _MAX_FANIN = 6
 class _Builder:
     """Stateful construction helper for one generated circuit."""
 
-    def __init__(self, profile: CircuitProfile, seed: Optional[int]):
+    def __init__(self, profile: CircuitProfile, seed: int):
         self.profile = profile
-        if seed is None:
-            seed = zlib.crc32(profile.name.encode())
+        self.seed = seed
+        # the ONLY RNG of a generation run; see resolve_seed
         self.rng = random.Random(seed)
         self.netlist = Netlist(profile.name)
         self.order: List[str] = []  # topological creation order of comb cells
@@ -139,15 +156,18 @@ def generate_circuit(
 
     Args:
         profile: target statistics.
-        seed: RNG seed; defaults to a stable hash of the profile name, so
-            ``generate_circuit(p)`` is reproducible across sessions.
+        seed: RNG seed, resolved by :func:`resolve_seed` (``None`` →
+            stable hash of the profile name); one ``random.Random`` is
+            threaded through every helper, so the same ``(profile,
+            seed)`` emits byte-identical ``.bench`` text on every
+            platform.
         n_stages: pipeline depth; by default scales with circuit size.
 
     Raises:
         NetlistError: when the profile is internally infeasible (e.g. area
             below the structural minimum, or fewer gates than SCC DFFs).
     """
-    b = _Builder(profile, seed)
+    b = _Builder(profile, resolve_seed(profile.name, seed))
     rng = b.rng
     nl = b.netlist
 

@@ -51,7 +51,9 @@ def build_parser() -> argparse.ArgumentParser:
             "through the parallel execution farm with result caching; "
             "'merced lint --help' runs the static circuit/DFT linter; "
             "'merced serve --help' starts the long-running HTTP compile "
-            "service; 'merced submit --help' posts work to it."
+            "service; 'merced submit --help' posts work to it; "
+            "'merced corpus --help' generates deterministic synthetic "
+            "circuits and manages the committed corpus."
         ),
     )
     parser.add_argument(
@@ -477,6 +479,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         from ..service.cli import submit_main
 
         return submit_main(argv[1:])
+    if argv and argv[0] == "corpus":
+        from ..corpus.cli import corpus_main
+
+        return corpus_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.list:
         from ..circuits.profiles import TABLE9_PROFILES

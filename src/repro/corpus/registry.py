@@ -1,0 +1,150 @@
+"""Named corpus specs: the committed seed corpus and the trend circuits.
+
+Two registries, both pure data:
+
+* :data:`SEED_CORPUS_SPECS` — the small, structurally diverse corpus
+  committed under ``benchmarks/corpus/`` (written by ``merced corpus
+  seed``, drift-guarded by ``tests/corpus/test_registry.py``: the
+  committed ``.bench`` bytes must equal a fresh generation).
+* :data:`TREND_SPECS` — the large circuits the trend benchmark
+  (``scripts/bench_trend.py``) runs at claimed scale.  These are *not*
+  committed as ``.bench`` files (a 50k-gate netlist is megabytes);
+  they are regenerated deterministically from the spec on every run.
+
+``load_corpus_circuit`` resolves either kind by name, mirroring
+:func:`repro.circuits.library.load_circuit` (cached, defensive copy).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Dict, List
+
+from ..netlist.netlist import Netlist
+from .spec import CorpusSpec
+from .topology import generate_corpus_circuit
+
+__all__ = [
+    "SEED_CORPUS_SPECS",
+    "TREND_SPECS",
+    "corpus_spec_names",
+    "spec_by_name",
+    "load_corpus_circuit",
+]
+
+#: The committed seed corpus: small enough to live in git, shaped to
+#: cover the structural axes the knobs expose (feed-forward, deep SCCs,
+#: shortcut chords, coupled SCCs, heavy-tail fanout, register-dense).
+SEED_CORPUS_SPECS: Dict[str, CorpusSpec] = {
+    s.name: s
+    for s in (
+        CorpusSpec(
+            name="corpus-ff400",
+            seed=1101,
+            n_gates=400,
+            register_density=0.05,
+            scc_register_fraction=0.0,
+        ),
+        CorpusSpec(
+            name="corpus-ring600",
+            seed=1102,
+            n_gates=600,
+            register_density=0.06,
+            scc_register_fraction=0.5,
+            scc_depth=3,
+            max_ring_size=5,
+        ),
+        CorpusSpec(
+            name="corpus-chord800",
+            seed=1103,
+            n_gates=800,
+            register_density=0.05,
+            scc_register_fraction=0.4,
+            scc_depth=2,
+            chord_prob=0.35,
+        ),
+        CorpusSpec(
+            name="corpus-coupled1k",
+            seed=1104,
+            n_gates=1000,
+            register_density=0.05,
+            scc_register_fraction=0.3,
+            scc_depth=2,
+            scc_coupling=0.25,
+            chord_prob=0.1,
+        ),
+        CorpusSpec(
+            name="corpus-hub1k",
+            seed=1105,
+            n_gates=1000,
+            register_density=0.04,
+            scc_register_fraction=0.2,
+            fanout_hub_fraction=0.004,
+            fanout_hub_bias=0.35,
+        ),
+        CorpusSpec(
+            name="corpus-dense2k",
+            seed=1106,
+            n_gates=2000,
+            register_density=0.12,
+            scc_register_fraction=0.25,
+            scc_depth=1,
+            n_stages=8,
+        ),
+    )
+}
+
+#: Large circuits for the trend benchmark — regenerated, never committed.
+TREND_SPECS: Dict[str, CorpusSpec] = {
+    s.name: s
+    for s in (
+        CorpusSpec(
+            name="corpus-50k",
+            seed=50001,
+            n_gates=50_000,
+            register_density=0.02,
+            scc_register_fraction=0.10,
+            scc_depth=2,
+            max_ring_size=4,
+            n_stages=10,
+        ),
+        CorpusSpec(
+            name="corpus-200k",
+            seed=200001,
+            n_gates=200_000,
+            register_density=0.02,
+            scc_register_fraction=0.05,
+            scc_depth=2,
+            max_ring_size=4,
+            n_stages=12,
+        ),
+    )
+}
+
+
+def corpus_spec_names() -> List[str]:
+    """All names :func:`load_corpus_circuit` accepts (seed + trend)."""
+    return list(SEED_CORPUS_SPECS) + list(TREND_SPECS)
+
+
+def spec_by_name(name: str) -> CorpusSpec:
+    """Look up a registered spec; raises ``KeyError`` with suggestions."""
+    spec = SEED_CORPUS_SPECS.get(name) or TREND_SPECS.get(name)
+    if spec is None:
+        known = ", ".join(corpus_spec_names())
+        raise KeyError(f"unknown corpus spec {name!r}; known: {known}")
+    return spec
+
+
+@lru_cache(maxsize=4)
+def _cached(name: str) -> Netlist:
+    return generate_corpus_circuit(spec_by_name(name))
+
+
+def load_corpus_circuit(name: str) -> Netlist:
+    """Generate (cached) a registered corpus circuit by name.
+
+    A defensive copy is returned so callers may mutate freely, same
+    contract as :func:`repro.circuits.library.load_circuit`.
+    """
+    return _cached(name).copy()

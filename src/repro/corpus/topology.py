@@ -1,0 +1,483 @@
+"""O(n) constrained-random topology generator for corpus circuits.
+
+Realises a :class:`~repro.corpus.spec.CorpusSpec` as a validated,
+lint-clean :class:`~repro.netlist.netlist.Netlist`:
+
+* the circuit is a pipeline of stages; feed-forward DFFs sit at stage
+  boundaries (guaranteed off every cycle);
+* SCC registers form feedback *rings* inside stages — ``q_j → (chain of
+  exactly ``scc_depth`` gates) → q_{j+1} → … → q_0`` — so SCC node count
+  and register count are controlled exactly.  ``chord_prob`` adds
+  same-ring shortcut edges (register-starved cycles → solver drop
+  rounds); ``scc_coupling`` lets chains read surrounding stage logic
+  (SCCs absorb neighbours, occasionally fusing);
+* ordinary gates draw inputs with a recency bias (local clustering)
+  or, with probability ``fanout_hub_bias``, from a small hub pool —
+  which is what gives large circuits their heavy-tailed fanout;
+* validity filters keep every emitted circuit ``merced lint``-clean at
+  the default ``(l_k, β)``: every PI is read (NET002), every dangling
+  signal becomes a PO (NET001/GRF002), gate inputs are distinct
+  (NET004), fan-in is capped far below ``l_k`` (BUD001), every SCC
+  carries its ring registers (RET001), and the combinational core is
+  acyclic by construction (GRF001) because gates only ever read
+  already-created signals or register outputs.
+
+Everything random flows from the **single** ``random.Random(spec.seed)``
+created at entry and threaded explicitly into every helper — no module
+RNG, no per-helper reseeding — so one spec is one circuit, bit-for-bit,
+on every platform.
+"""
+
+from __future__ import annotations
+
+import random
+from bisect import bisect_right
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import NetlistError
+from ..graphs.build import build_circuit_graph
+from ..graphs.scc import SCCIndex
+from ..netlist.gates import GateType
+from ..netlist.netlist import Netlist
+from .spec import CorpusSpec
+
+__all__ = ["generate_corpus_circuit", "describe_netlist", "plan_rings"]
+
+#: Base gate mix: the paper's NAND/NOR-heavy profile with a realistic
+#: sprinkle of AND/OR buffers and rare XORs.
+_GATE_MIX: Tuple[Tuple[GateType, int], ...] = (
+    (GateType.NAND, 40),
+    (GateType.NOR, 30),
+    (GateType.AND, 14),
+    (GateType.OR, 12),
+    (GateType.XOR, 4),
+)
+_MIX_TOTAL = sum(w for _, w in _GATE_MIX)
+
+
+def _gate_type(rng: random.Random) -> GateType:
+    roll = rng.randrange(_MIX_TOTAL)
+    for gtype, weight in _GATE_MIX:
+        roll -= weight
+        if roll < 0:
+            return gtype
+    return GateType.NAND  # pragma: no cover - weights always cover
+
+
+def plan_rings(
+    rng: random.Random, n_scc_dffs: int, max_ring_size: int
+) -> List[int]:
+    """Split ``n_scc_dffs`` ring registers into ring sizes.
+
+    Pure function of the passed RNG stream — callers own the seed.
+    """
+    sizes: List[int] = []
+    remaining = n_scc_dffs
+    while remaining > 0:
+        size = min(remaining, rng.randint(1, max_ring_size))
+        sizes.append(size)
+        remaining -= size
+    return sizes
+
+
+class _Picker:
+    """Input selection with recency bias and a global hub pool."""
+
+    def __init__(self, rng: random.Random, spec: CorpusSpec):
+        self.rng = rng
+        self.spec = spec
+        self.hubs: List[str] = []
+
+    def promote(self, signal: str) -> None:
+        if self.rng.random() < self.spec.fanout_hub_fraction:
+            self.hubs.append(signal)
+
+    def pick(self, pool: Sequence[str], local: bool = False) -> str:
+        """One input from ``pool`` (or, unless ``local``, the hub pool).
+
+        Ring chains pass ``local=True``: a hub may transitively read a
+        ring register of the same stage, and routing it into a chain
+        would fuse SCCs behind ``scc_coupling``'s back.
+        """
+        rng = self.rng
+        if not local and self.hubs and rng.random() < self.spec.fanout_hub_bias:
+            return self.hubs[rng.randrange(len(self.hubs))]
+        n = len(pool)
+        if n == 1:
+            return pool[0]
+        if rng.random() < self.spec.recency_bias:
+            back = min(n - 1, int(rng.expovariate(1 / 6.0)))
+            return pool[n - 1 - back]
+        return pool[rng.randrange(n)]
+
+    def pick_distinct(
+        self, pool: Sequence[str], k: int, first: Optional[str] = None
+    ) -> List[str]:
+        """``k`` distinct inputs (NET004 filter); ``first`` is forced."""
+        chosen: List[str] = [first] if first is not None else []
+        attempts = 0
+        while len(chosen) < k and attempts < 8 * k:
+            attempts += 1
+            cand = self.pick(pool)
+            if cand not in chosen:
+                chosen.append(cand)
+        # tiny pools can exhaust the attempt budget; never emit a
+        # duplicate-input gate (structural constant), emit a smaller one
+        return chosen
+
+
+def generate_corpus_circuit(
+    spec: CorpusSpec, verify: bool = True
+) -> Netlist:
+    """Generate the circuit described by ``spec`` (see module docs).
+
+    Args:
+        spec: the topology description; ``spec.seed`` is the single
+            source of randomness.
+        verify: run the structural self-check (validate + exact counts +
+            registers-on-SCC).  Disable only when the caller re-verifies
+            (e.g. the fuzz harness lints every circuit anyway).
+
+    Raises:
+        NetlistError: when the spec is internally infeasible or the
+            generated circuit fails its own verification.
+    """
+    rng = random.Random(spec.seed)
+    nl = Netlist(spec.name)
+
+    n_stages = spec.resolved_stages
+    n_inputs = spec.resolved_inputs
+    n_dffs = spec.n_dffs
+    n_scc = spec.n_scc_dffs
+    n_off = n_dffs - n_scc
+    ring_sizes = plan_rings(rng, n_scc, spec.max_ring_size)
+    n_chain_gates = n_scc * spec.scc_depth
+    n_plain = spec.n_gates - n_chain_gates
+    if n_plain < n_stages:
+        raise NetlistError(
+            f"spec {spec.name}: {spec.n_gates} gates cannot host "
+            f"{n_chain_gates} ring-chain gates over {n_stages} stages"
+        )
+
+    # -- primary inputs, assigned to home stages ------------------------
+    pis = [f"pi{i}" for i in range(n_inputs)]
+    for pi in pis:
+        nl.add_input(pi)
+    global_pis = pis[: min(2, len(pis))]  # control-like, fan wide
+    pi_home: Dict[int, List[str]] = {s: [] for s in range(n_stages)}
+    for pi in pis[len(global_pis):]:
+        pi_home[rng.randrange(n_stages)].append(pi)
+
+    picker = _Picker(rng, spec)
+    picker.hubs.extend(global_pis)
+
+    # -- per-stage budgets ----------------------------------------------
+    gates_per_stage = [n_plain // n_stages] * n_stages
+    for i in range(n_plain % n_stages):
+        gates_per_stage[i] += 1
+    invs_per_stage = [spec.n_inverters // n_stages] * n_stages
+    for i in range(spec.n_inverters % n_stages):
+        invs_per_stage[i] += 1
+    ring_stage = [rng.randrange(n_stages) for _ in ring_sizes]
+    off_dff_stage = (
+        [s % (n_stages - 1) for s in range(n_off)] if n_off else []
+    )
+
+    uid = 0
+    boundary_signals: List[str] = []
+    last_gate_list: List[str] = []
+    plain_gates: List[str] = []  # non-NOT plain gates, creation order
+
+    for stage in range(n_stages):
+        entry: List[str] = global_pis + pi_home[stage] + boundary_signals
+        # acyclic sources chain gates may read without joining the SCC
+        safe_pool: List[str] = list(entry)
+
+        my_rings = [
+            size for size, s in zip(ring_sizes, ring_stage) if s == stage
+        ]
+        ring_regs: List[List[str]] = []
+        for size in my_rings:
+            names = []
+            for _ in range(size):
+                uid += 1
+                names.append(f"q{uid}")
+            ring_regs.append(names)
+        ring_outputs = [n for names in ring_regs for n in names]
+
+        pool: List[str] = entry + ring_outputs
+        gate_list: List[str] = []
+        home = pi_home[stage]
+        n_here = gates_per_stage[stage]
+        n_inv_left = invs_per_stage[stage]
+        inv_every = max(1, n_here // n_inv_left) if n_inv_left else 0
+        for gi in range(n_here):
+            # the first len(home) gates each consume one home PI, which
+            # is what guarantees every primary input is read (NET002)
+            first = home[gi] if gi < len(home) else None
+            k = 3 if rng.random() < spec.fanin3_prob else 2
+            inputs = picker.pick_distinct(pool, k, first=first)
+            uid += 1
+            out = f"g{uid}"
+            nl.add_gate(out, _gate_type(rng), inputs)
+            pool.append(out)
+            gate_list.append(out)
+            plain_gates.append(out)
+            picker.promote(out)
+            if n_inv_left and inv_every and gi % inv_every == inv_every - 1:
+                uid += 1
+                inv = f"g{uid}"
+                nl.add_gate(inv, GateType.NOT, [picker.pick(pool)])
+                pool.append(inv)
+                n_inv_left -= 1
+        while n_inv_left:
+            uid += 1
+            inv = f"g{uid}"
+            nl.add_gate(inv, GateType.NOT, [picker.pick(pool)])
+            pool.append(inv)
+            n_inv_left -= 1
+
+        # leftover home PIs (stage had fewer gates than home PIs) are
+        # absorbed post-hoc below; remember the overflow
+        if len(home) > n_here:
+            picker.hubs.extend(home[n_here:])
+
+        # -- feedback rings ---------------------------------------------
+        for size, names in zip(my_rings, ring_regs):
+            chain_gates: List[str] = []
+            chain_ends: List[str] = []
+            for j in range(size):
+                sig = names[j]
+                for _d in range(spec.scc_depth):
+                    extras: List[str] = []
+                    if chain_gates and rng.random() < spec.chord_prob:
+                        extras.append(
+                            chain_gates[rng.randrange(len(chain_gates))]
+                        )
+                    if rng.random() < spec.scc_coupling and pool:
+                        extras.append(picker.pick(pool))
+                    extras = [e for e in extras if e != sig]
+                    if not extras:
+                        # safe_pool never contains chain gates or ring
+                        # registers, so the pick can't collide with sig
+                        extras.append(picker.pick(safe_pool, local=True))
+                    uid += 1
+                    out = f"g{uid}"
+                    inputs = [sig] + extras
+                    nl.add_gate(out, _gate_type(rng), inputs)
+                    chain_gates.append(out)
+                    sig = out
+                chain_ends.append(sig)
+            for j in range(size):
+                nl.add_dff(names[(j + 1) % size], chain_ends[j])
+            pool.extend(chain_ends)
+
+        last_gate_list = gate_list or pool
+        # -- boundary DFFs into the next stage ---------------------------
+        boundary_signals = []
+        if stage < n_stages - 1:
+            source = gate_list or pool
+            for s in off_dff_stage:
+                if s == stage:
+                    uid += 1
+                    q = f"q{uid}"
+                    nl.add_dff(q, picker.pick(source))
+                    boundary_signals.append(q)
+                    picker.promote(q)
+
+    # -- validity filters ------------------------------------------------
+    _absorb_unread_pis(nl, rng, spec)
+    _absorb_dangles(nl, rng, spec, plain_gates)
+    _emit_outputs(nl, rng, spec, last_gate_list)
+    _observe_dead_cones(nl)
+
+    if verify:
+        _verify(nl, spec)
+    return nl
+
+
+def _absorb_unread_pis(
+    nl: Netlist, rng: random.Random, spec: CorpusSpec
+) -> None:
+    """Attach every unread PI as an extra input pin somewhere (NET002)."""
+    read = set()
+    for cell in nl.cells():
+        read.update(cell.inputs)
+    unread = [pi for pi in nl.inputs if pi not in read]
+    if not unread:
+        return
+    gates = [c.output for c in nl.cells() if not c.is_dff]
+    for pi in unread:
+        attached = False
+        for _ in range(32):
+            cell = nl.cell(gates[rng.randrange(len(gates))])
+            if cell.gtype is GateType.NOT:
+                continue
+            if cell.fanin < spec.max_fanin and pi not in cell.inputs:
+                nl.replace_cell(cell.with_inputs(cell.inputs + (pi,)))
+                attached = True
+                break
+        if not attached:  # pragma: no cover - 32 draws over >>1 gates
+            raise NetlistError(
+                f"spec {spec.name}: could not absorb unread PI {pi!r}"
+            )
+
+
+def _absorb_dangles(
+    nl: Netlist,
+    rng: random.Random,
+    spec: CorpusSpec,
+    plain_gates: List[str],
+) -> None:
+    """Fold most dangling signals into later gates as extra input pins.
+
+    Real circuits don't observe 20% of their nets; unread signals are
+    reconnected as fan-in of *later-created plain gates* — strictly
+    forward in creation order (no cycles) and never into a ring chain
+    (no accidental SCC fusion).  Whatever can't be absorbed (created
+    too late, or every candidate gate already at ``max_fanin``) stays
+    dangling and becomes a primary output in :func:`_emit_outputs`.
+    """
+    fan = nl.fanout_map()
+    dangling = [c.output for c in nl.cells() if not fan.get(c.output)]
+    keep = max(spec.resolved_outputs, 1)
+    if len(dangling) <= keep:
+        return
+    to_absorb = dangling[:-keep]
+    # cell names encode creation order: g<uid>/q<uid>
+    uids = [int(g[1:]) for g in plain_gates]
+    for sig in to_absorb:
+        lo = bisect_right(uids, int(sig[1:]))
+        if lo >= len(uids):
+            continue  # tail-of-circuit signal: stays a PO
+        for _ in range(12):
+            tgt = plain_gates[lo + rng.randrange(len(uids) - lo)]
+            cell = nl.cell(tgt)
+            if cell.fanin < spec.max_fanin and sig not in cell.inputs:
+                nl.replace_cell(cell.with_inputs(cell.inputs + (sig,)))
+                break
+
+
+def _emit_outputs(
+    nl: Netlist,
+    rng: random.Random,
+    spec: CorpusSpec,
+    last_gates: List[str],
+) -> None:
+    """Every dangling signal becomes a PO; top up to the PO target."""
+    fan = nl.fanout_map()
+    po: List[str] = []
+    for cell in nl.cells():  # insertion order → deterministic
+        if not fan.get(cell.output):
+            po.append(cell.output)
+    po_set = set(po)
+    want = max(spec.resolved_outputs, 1)
+    attempts = 0
+    while len(po_set) < want and attempts < 20 * want:
+        attempts += 1
+        cand = last_gates[rng.randrange(len(last_gates))]
+        if cand not in po_set:
+            po.append(cand)
+            po_set.add(cand)
+    for sig in po:
+        nl.add_output(sig)
+
+
+def _observe_dead_cones(nl: Netlist) -> None:
+    """Add observation POs until every cell reaches a primary output.
+
+    Dangling signals are already POs, so an unobservable region must be
+    cyclic: a feedback ring whose chain outputs happen to feed only the
+    ring itself (GRF002 dead logic).  Each pass computes the transitive
+    fan-in cone of the POs and observes the *latest-created* dead cell —
+    inside a ring every member reaches every other, so one PO resurrects
+    the whole ring plus its feeders.  Ring count bounds the passes.
+    """
+    for _ in range(1 + sum(1 for c in nl.cells() if c.is_dff)):
+        cone = set(nl.outputs)
+        stack = list(nl.outputs)
+        while stack:
+            sig = stack.pop()
+            cell = nl.driver(sig)
+            if cell is not None:
+                for src in cell.inputs:
+                    if src not in cone:
+                        cone.add(src)
+                        stack.append(src)
+        dead = [c.output for c in nl.cells() if c.output not in cone]
+        if not dead:
+            return
+        dead.sort(key=lambda name: int(name[1:]))
+        nl.add_output(dead[-1])
+    raise NetlistError(  # pragma: no cover - pass bound is generous
+        f"{nl.name}: dead-cone observation failed to converge"
+    )
+
+
+def _verify(nl: Netlist, spec: CorpusSpec) -> None:
+    """Structural self-check: validity + exact targets."""
+    nl.validate()
+    stats = nl.stats()
+    mismatches = []
+    for label, got, want in (
+        ("inputs", stats.n_inputs, spec.resolved_inputs),
+        ("dffs", stats.n_dffs, spec.n_dffs),
+        ("gates", stats.n_gates, spec.n_gates),
+        ("inverters", stats.n_inverters, spec.n_inverters),
+    ):
+        if got != want:
+            mismatches.append(f"{label}: got {got}, want {want}")
+    if mismatches:
+        raise NetlistError(
+            f"generated {spec.name} missed spec: " + "; ".join(mismatches)
+        )
+    scc = SCCIndex(build_circuit_graph(nl, with_po_nodes=False))
+    got_scc = scc.registers_on_sccs()
+    if got_scc != spec.n_scc_dffs:
+        raise NetlistError(
+            f"generated {spec.name}: {got_scc} DFFs on SCC, "
+            f"want {spec.n_scc_dffs}"
+        )
+
+
+def describe_netlist(nl: Netlist) -> Dict[str, object]:
+    """Structural summary of a circuit (corpus or parsed ``.bench``).
+
+    Returns a JSON-friendly dict: Table 9-style stats, combinational
+    depth, SCC structure (count, registers, largest component) and the
+    fanout distribution (max / mean / #signals above 16).
+    """
+    stats = nl.stats()
+    fan = nl.fanout_map()
+    fanouts = sorted(len(readers) for readers in fan.values())
+    n_sig = len(fanouts)
+    graph = build_circuit_graph(nl, with_po_nodes=False)
+    index = SCCIndex(graph)
+    sccs = index.sccs()
+    depth = 0
+    level: Dict[str, int] = {}
+    for cell in nl.topological_comb_order():
+        lvl = 1 + max(
+            (level.get(s, 0) for s in cell.inputs), default=0
+        )
+        level[cell.output] = lvl
+        if lvl > depth:
+            depth = lvl
+    return {
+        "name": nl.name,
+        "n_inputs": stats.n_inputs,
+        "n_outputs": stats.n_outputs,
+        "n_dffs": stats.n_dffs,
+        "n_gates": stats.n_gates,
+        "n_inverters": stats.n_inverters,
+        "area_units": stats.area_units,
+        "comb_depth": depth,
+        "n_sccs": len(sccs),
+        "dffs_on_scc": index.registers_on_sccs(),
+        "largest_scc": max((s.size for s in sccs), default=0),
+        "fanout_max": fanouts[-1] if fanouts else 0,
+        "fanout_mean": (
+            round(sum(fanouts) / n_sig, 3) if n_sig else 0.0
+        ),
+        "fanout_over_16": sum(1 for f in fanouts if f > 16),
+    }

@@ -1,0 +1,93 @@
+"""Byte-level determinism of both circuit generators.
+
+The entire downstream story — result caching keyed by bench text,
+``--jobs N`` bit-identity, the committed seed corpus, fuzz reproducers —
+rests on one invariant: a generator run is a pure function of its seed.
+These tests pin it two ways:
+
+* *self-consistency*: two in-process generations are byte-equal, and
+  the seed actually matters (different seed → different bytes);
+* *cross-platform pinning*: sha256 digests of generated ``.bench`` text
+  are committed here, so a Python upgrade, dict-ordering change, or an
+  accidental use of the global ``random`` module fails loudly on any
+  machine.  When a *deliberate* generator change rewrites these, update
+  the digests and re-run ``merced corpus seed`` in the same commit.
+"""
+
+import hashlib
+import random
+
+import pytest
+
+from repro.circuits.generator import generate_circuit, resolve_seed
+from repro.circuits.profiles import TABLE9_PROFILES
+from repro.corpus import SEED_CORPUS_SPECS, generate_corpus_circuit
+from repro.netlist.bench import write_bench
+
+# (profile, seed) → sha256 of the canonical .bench text.  seed None
+# exercises the resolve_seed default (crc32 of the profile name).
+TABLE9_DIGESTS = {
+    ("s420.1", None): "e1d388cd595230930ed4123c77015b938334d768a4770c41c8477a6c80b03d75",
+    ("s420.1", 7): "f6bc379fa8ae9a81db63d6196c3a81230e11c61daea9e654adf091344bb2f8f8",
+    ("s838.1", None): "2122a29c8ed5071349e46043d35e1e8bcafed7cd6ef768c116ec967b1690c4e0",
+    ("s838.1", 7): "ddb61e2cdb19f238145018d364c923176dc64fa34045955cd4c33facfd522b77",
+    ("s1423", None): "8a289183eaf7897bf33a9b0b6a5e0a20f9b7952c0ac7b43333f322628335d04a",
+    ("s1423", 7): "aa809104764adbd4896a5b7ec8c6ec54fee1892438475f9e69d3e1fbbed6810e",
+}
+
+CORPUS_DIGESTS = {
+    "corpus-ring600": "0fb3da761525f1350feac3afd04d781638b558e86bbb5215506fb7c247ab62ce",
+    "corpus-dense2k": "47a738d0c59b37dd845c3084aaa128b8c0a64c02ea30a051b868cc5527289b35",
+}
+
+
+def _digest(text: str) -> str:
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+@pytest.mark.parametrize("name,seed", sorted(TABLE9_DIGESTS, key=str))
+def test_table9_generator_pinned_digest(name, seed):
+    text = write_bench(generate_circuit(TABLE9_PROFILES[name], seed=seed))
+    assert _digest(text) == TABLE9_DIGESTS[(name, seed)]
+
+
+@pytest.mark.parametrize("name", sorted(CORPUS_DIGESTS))
+def test_corpus_generator_pinned_digest(name):
+    text = write_bench(generate_corpus_circuit(SEED_CORPUS_SPECS[name]))
+    assert _digest(text) == CORPUS_DIGESTS[name]
+
+
+def test_same_seed_same_bytes_different_seed_different_bytes():
+    profile = TABLE9_PROFILES["s420.1"]
+    a = write_bench(generate_circuit(profile, seed=3))
+    b = write_bench(generate_circuit(profile, seed=3))
+    c = write_bench(generate_circuit(profile, seed=4))
+    assert a == b
+    assert a != c
+
+
+def test_resolve_seed_contract():
+    assert resolve_seed("s420.1", 99) == 99
+    default = resolve_seed("s420.1", None)
+    assert isinstance(default, int)
+    assert resolve_seed("s420.1", None) == default  # stable
+    assert resolve_seed("s838.1", None) != default  # name-keyed
+
+
+def test_generator_ignores_global_random_state():
+    """The global ``random`` module must play no part in generation."""
+    profile = TABLE9_PROFILES["s420.1"]
+    random.seed(1)
+    a = write_bench(generate_circuit(profile, seed=5))
+    random.seed(2)
+    state = random.getstate()
+    b = write_bench(generate_circuit(profile, seed=5))
+    assert a == b
+    assert random.getstate() == state  # and it is left untouched
+
+    spec = SEED_CORPUS_SPECS["corpus-ring600"]
+    random.seed(3)
+    x = write_bench(generate_corpus_circuit(spec))
+    random.seed(4)
+    y = write_bench(generate_corpus_circuit(spec))
+    assert x == y

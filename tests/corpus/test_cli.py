@@ -1,0 +1,107 @@
+"""``merced corpus`` CLI: generate/describe/seed/list, drift detection."""
+
+import json
+
+import pytest
+
+from repro.core.cli import main as merced_main
+from repro.corpus.cli import corpus_main
+
+
+def test_generate_to_stdout_is_deterministic(capsys):
+    assert corpus_main(["generate", "--gates", "64", "--seed", "7"]) == 0
+    first = capsys.readouterr().out
+    assert corpus_main(["generate", "--gates", "64", "--seed", "7"]) == 0
+    second = capsys.readouterr().out
+    assert first == second
+    assert "# corpus64" in first  # bench header carries the name
+
+
+def test_generate_spec_to_file(tmp_path, capsys):
+    out = tmp_path / "ring.bench"
+    rc = corpus_main(
+        ["generate", "--spec", "corpus-ring600", "--out", str(out)]
+    )
+    assert rc == 0
+    assert out.is_file() and out.read_text().startswith("#")
+    assert "corpus-ring600" in capsys.readouterr().err
+
+
+def test_generate_requires_spec_or_gates(capsys):
+    assert corpus_main(["generate"]) == 2
+    assert "--gates" in capsys.readouterr().err
+
+
+def test_generate_unknown_spec_fails_cleanly(capsys):
+    assert corpus_main(["generate", "--spec", "corpus-nope"]) == 2
+    assert "unknown corpus spec" in capsys.readouterr().err
+
+
+def test_describe_spec_emits_json_with_spec_echo(capsys):
+    assert corpus_main(["describe", "--spec", "corpus-ff400"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["n_gates"] == 400
+    assert payload["spec"]["name"] == "corpus-ff400"
+
+
+def test_describe_accepts_registered_name_as_positional(capsys):
+    assert corpus_main(["describe", "corpus-ff400"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["n_gates"] == 400
+    assert payload["spec"]["name"] == "corpus-ff400"
+
+
+def test_describe_unknown_positional_fails_cleanly(capsys):
+    assert corpus_main(["describe", "no-such-thing.bench"]) == 2
+    assert "unknown corpus spec" in capsys.readouterr().err
+
+
+def test_describe_bench_file(tmp_path, capsys):
+    out = tmp_path / "c.bench"
+    corpus_main(["generate", "--gates", "64", "--seed", "1", "--out", str(out)])
+    capsys.readouterr()
+    assert corpus_main(["describe", str(out)]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["n_gates"] == 64
+
+
+def test_seed_write_then_check_round_trip(tmp_path, capsys):
+    corpus = tmp_path / "corpus"
+    assert corpus_main(["seed", "--out", str(corpus)]) == 0
+    assert (corpus / "manifest.json").is_file()
+    assert corpus_main(["seed", "--check", "--out", str(corpus)]) == 0
+    assert "matches its specs" in capsys.readouterr().out
+
+
+def test_seed_check_detects_tampering(tmp_path, capsys):
+    corpus = tmp_path / "corpus"
+    corpus_main(["seed", "--out", str(corpus)])
+    victim = corpus / "corpus-ff400.bench"
+    victim.write_text(victim.read_text() + "# tampered\n")
+    assert corpus_main(["seed", "--check", "--out", str(corpus)]) == 1
+    err = capsys.readouterr().err
+    assert "drift" in err and "corpus-ff400" in err
+
+
+def test_seed_check_without_corpus_fails(tmp_path, capsys):
+    assert (
+        corpus_main(["seed", "--check", "--out", str(tmp_path / "empty")]) == 1
+    )
+    assert "missing" in capsys.readouterr().err
+
+
+def test_list_shows_both_registries(capsys):
+    assert corpus_main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "corpus-ff400" in out and "corpus-50k" in out
+
+
+def test_merced_dispatches_corpus_subcommand(capsys):
+    assert merced_main(["corpus", "list"]) == 0
+    assert "corpus-ring600" in capsys.readouterr().out
+
+
+def test_missing_subcommand_is_usage_error():
+    with pytest.raises(SystemExit) as exc:
+        corpus_main([])
+    assert exc.value.code == 2

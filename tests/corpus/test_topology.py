@@ -1,0 +1,121 @@
+"""Generator validity: exact counts, SCC control, lint-cleanliness.
+
+The corpus generator's contract is stronger than "produces a parseable
+netlist": every emitted circuit must pass the full lint rule catalog
+with zero warnings and zero errors (that is what lets the fuzz loop
+treat any downstream disagreement as a real bug, not a malformed
+input), and the structural knobs must actually control the structure.
+Info-severity advisories (RET002: more cut candidates than f(λ)
+registers) are *expected* on register-starved rings — dropping such
+cuts is pipeline behaviour the fuzzer deliberately exercises.
+"""
+
+import pytest
+
+from repro.analysis.lint import lint_circuit
+from repro.corpus import (
+    CorpusSpec,
+    SEED_CORPUS_SPECS,
+    TREND_SPECS,
+    describe_netlist,
+    generate_corpus_circuit,
+)
+from repro.graphs import SCCIndex, build_circuit_graph
+
+
+def _lint_findings(netlist):
+    report = lint_circuit(netlist)
+    return [d for d in report.diagnostics if d.severity != "info"]
+
+
+@pytest.mark.parametrize("name", sorted(SEED_CORPUS_SPECS))
+def test_seed_corpus_is_completely_lint_clean(name):
+    netlist = generate_corpus_circuit(SEED_CORPUS_SPECS[name])
+    findings = _lint_findings(netlist)
+    assert findings == [], [str(d) for d in findings[:5]]
+
+
+@pytest.mark.parametrize("name", sorted(SEED_CORPUS_SPECS))
+def test_seed_corpus_hits_exact_counts(name):
+    spec = SEED_CORPUS_SPECS[name]
+    stats = generate_corpus_circuit(spec).stats()
+    assert stats.n_inputs == spec.resolved_inputs
+    assert stats.n_dffs == spec.n_dffs
+    assert stats.n_gates == spec.n_gates
+    assert stats.n_inverters == spec.n_inverters
+
+
+def test_scc_register_count_is_exact():
+    spec = SEED_CORPUS_SPECS["corpus-ring600"]
+    netlist = generate_corpus_circuit(spec)
+    scc = SCCIndex(build_circuit_graph(netlist, with_po_nodes=False))
+    assert scc.registers_on_sccs() == spec.n_scc_dffs
+
+
+def test_ring_isolation_bounds_scc_size():
+    """With no coupling/chords, an SCC is exactly one ring:
+    ring_size × (1 + scc_depth) nodes at most."""
+    spec = SEED_CORPUS_SPECS["corpus-ring600"]
+    assert spec.scc_coupling == 0.0 and spec.chord_prob == 0.0
+    d = describe_netlist(generate_corpus_circuit(spec))
+    assert d["largest_scc"] <= spec.max_ring_size * (1 + spec.scc_depth)
+
+
+def test_coupling_grows_sccs():
+    base = CorpusSpec(
+        name="iso",
+        seed=77,
+        n_gates=600,
+        scc_register_fraction=0.4,
+        scc_depth=2,
+    )
+    coupled = base.with_(name="coup", scc_coupling=0.4, chord_prob=0.2)
+    d_iso = describe_netlist(generate_corpus_circuit(base))
+    d_coup = describe_netlist(generate_corpus_circuit(coupled))
+    assert d_coup["largest_scc"] > d_iso["largest_scc"]
+
+
+def test_hub_bias_skews_fanout_tail():
+    base = CorpusSpec(
+        name="flat", seed=5, n_gates=800, fanout_hub_bias=0.0
+    )
+    hubby = base.with_(
+        name="hubs", fanout_hub_fraction=0.005, fanout_hub_bias=0.35
+    )
+    d_flat = describe_netlist(generate_corpus_circuit(base))
+    d_hub = describe_netlist(generate_corpus_circuit(hubby))
+    assert d_hub["fanout_max"] > d_flat["fanout_max"]
+
+
+def test_feed_forward_spec_has_no_sccs():
+    spec = SEED_CORPUS_SPECS["corpus-ff400"]
+    assert spec.scc_register_fraction == 0.0
+    d = describe_netlist(generate_corpus_circuit(spec))
+    assert d["n_sccs"] == 0
+    assert d["dffs_on_scc"] == 0
+
+
+def test_describe_reports_core_fields():
+    d = describe_netlist(generate_corpus_circuit(SEED_CORPUS_SPECS["corpus-ff400"]))
+    for key in (
+        "n_gates",
+        "n_dffs",
+        "n_inputs",
+        "n_outputs",
+        "n_sccs",
+        "largest_scc",
+        "dffs_on_scc",
+        "comb_depth",
+        "fanout_max",
+        "fanout_mean",
+    ):
+        assert key in d
+
+
+@pytest.mark.slow
+def test_trend_circuit_50k_is_lint_clean_at_scale():
+    netlist = generate_corpus_circuit(TREND_SPECS["corpus-50k"])
+    stats = netlist.stats()
+    assert stats.n_gates == 50_000
+    findings = _lint_findings(netlist)
+    assert findings == [], [str(d) for d in findings[:5]]

@@ -163,6 +163,58 @@ def test_scc_equivalence_bundled(name):
     assert compiled == reference  # same comps, same order, same node order
 
 
+# ---------------------------------------------------------------------------
+# corpus-backed cases: well beyond the hypothesis profile sizes
+# ---------------------------------------------------------------------------
+from repro.corpus import TREND_SPECS, generate_corpus_circuit, load_corpus_circuit
+
+CORPUS_TIER1 = ["corpus-ff400", "corpus-ring600"]
+CORPUS_SLOW = ["corpus-chord800", "corpus-coupled1k", "corpus-hub1k", "corpus-dense2k"]
+
+
+@pytest.mark.parametrize("name", CORPUS_TIER1)
+def test_scc_equivalence_corpus(name):
+    graph = build_circuit_graph(load_corpus_circuit(name), with_po_nodes=False)
+    assert strongly_connected_components(
+        graph
+    ) == strongly_connected_components_reference(graph)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("name", CORPUS_SLOW)
+def test_scc_equivalence_corpus_slow(name):
+    graph = build_circuit_graph(load_corpus_circuit(name), with_po_nodes=False)
+    assert strongly_connected_components(
+        graph
+    ) == strongly_connected_components_reference(graph)
+
+
+@pytest.mark.slow
+def test_scc_equivalence_corpus_50k():
+    """Compiled vs reference Tarjan at claimed scale (50k gates)."""
+    netlist = generate_corpus_circuit(TREND_SPECS["corpus-50k"])
+    graph = build_circuit_graph(netlist, with_po_nodes=False)
+    assert strongly_connected_components(
+        graph
+    ) == strongly_connected_components_reference(graph)
+
+
+@pytest.mark.slow
+def test_compiled_view_is_lossless_corpus():
+    graph = build_circuit_graph(
+        load_corpus_circuit("corpus-dense2k"), with_po_nodes=False
+    )
+    cg = compile_graph(graph)
+    assert cg.node_names == list(graph.nodes())
+    assert cg.net_names == [n.name for n in graph.nets()]
+    for i, name in enumerate(cg.node_names):
+        succ = [
+            cg.node_names[cg.succ_ids[p]]
+            for p in range(cg.succ_start[i], cg.succ_start[i + 1])
+        ]
+        assert succ == graph.successors(name)
+
+
 @pytest.mark.parametrize("name", ["s27", "s641", "s1423"])
 def test_scc_index_matches_reference_construction(name):
     """SCCIndex (compiled build) == a from-scratch string-keyed build."""

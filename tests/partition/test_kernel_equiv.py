@@ -116,3 +116,35 @@ def test_kernel_equivalence_bundled(name, lk):
 def test_kernel_equivalence_bundled_beta2():
     # β=2 exercises budget exhaustion + many infeasible retiming rounds
     assert_pipelines_identical(load_circuit("s641"), lk=16, beta=2)
+
+
+# ---------------------------------------------------------------------------
+# corpus-backed cases: 10-50× the hypothesis profile sizes, real fanout
+# tails and deep/coupled SCCs the tiny random profiles can't produce
+# ---------------------------------------------------------------------------
+from repro.corpus import load_corpus_circuit  # noqa: E402
+
+
+def test_kernel_equivalence_corpus_tier1():
+    assert_pipelines_identical(load_corpus_circuit("corpus-ff400"), lk=16, beta=1)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize(
+    "name",
+    [
+        "corpus-ring600",
+        "corpus-chord800",
+        "corpus-coupled1k",
+        "corpus-hub1k",
+        "corpus-dense2k",
+    ],
+)
+def test_kernel_equivalence_corpus_slow(name):
+    assert_pipelines_identical(load_corpus_circuit(name), lk=16, beta=1)
+
+
+@pytest.mark.slow
+def test_kernel_equivalence_corpus_beta2():
+    # budget exhaustion at corpus scale: chords starve ring registers
+    assert_pipelines_identical(load_corpus_circuit("corpus-chord800"), lk=16, beta=2)
