@@ -1,0 +1,377 @@
+"""Traffic-replay benchmark for the sharded compile fleet.
+
+Measures what the fleet is *for* on a repeat-heavy workload: sustained
+throughput, p50/p99 latency, and hot-tier hit rates as a function of
+shard count, plus byte-identity of responses across shard counts.
+
+The workload is built so the scaling lever is **aggregate hot-tier
+capacity**, which is the honest lever on a single-CPU host (one Python
+process serializes compiles on the GIL, so shard count buys no compute
+there): the replay draws ~97% of requests from a hot working set of
+``--hot-keys`` distinct generated circuits against a per-shard hot
+tier of ``--hot-entries`` entries, with the disk tier off.  At one
+shard the working set overflows the LRU and most "hot" requests
+recompile (~tens of ms each); at four shards consistent hashing
+partitions the key space so each shard's slice fits its tier and
+repeats are served from memory (~ms).  On a multi-core host the same
+replay additionally scales the cold misses across CPUs — the benchmark
+records both regimes honestly (`host.cpus` is in the output).
+
+Phases:
+
+1. **Replay** — for each shard count: boot a fleet, warm it with one
+   pass over the hot set, then replay ``--requests`` mixed requests
+   from ``--threads`` client threads; record wall-clock throughput,
+   client-side p50/p99, and the fleet's own hit-rate counters.
+2. **Byte identity** — with the disk tier ON, submit the same circuits
+   to a 1-shard and a 4-shard fleet and require the payload JSON
+   (sorted keys) to be byte-equal.
+
+Writes ``BENCH_service_fleet.json`` at the repo root (committed as the
+baseline; ``scripts/bench_trend.py --check`` validates its acceptance
+fields).  Run::
+
+    PYTHONPATH=src python benchmarks/bench_service_fleet.py
+    PYTHONPATH=src python benchmarks/bench_service_fleet.py \
+        --requests 120 --shard-counts 1 4
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import random
+import statistics
+import sys
+import threading
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+REPO = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.corpus import CorpusSpec, generate_corpus_circuit  # noqa: E402
+from repro.netlist.bench import write_bench  # noqa: E402
+from repro.service import (  # noqa: E402
+    FleetThread,
+    RouterConfig,
+    ServiceClient,
+    ServiceConfig,
+)
+
+OUT = REPO / "BENCH_service_fleet.json"
+
+LK = 8
+SEED = 1996
+HOT_SEED_BASE = 9100
+COLD_SEED_BASE = 77000
+
+
+def generate_bench(seed: int, n_gates: int) -> str:
+    """One deterministic small circuit as ``.bench`` text."""
+    spec = CorpusSpec(name=f"fleet-{seed}", seed=seed, n_gates=n_gates)
+    return write_bench(generate_corpus_circuit(spec))
+
+
+def build_schedule(
+    requests: int, hot_keys: int, hot_fraction: float, seed: int
+) -> List[Tuple[str, int]]:
+    """The replay trace: ``("hot", idx)`` or ``("cold", unique_id)``.
+
+    Deterministic, and identical across shard counts so every
+    configuration answers the exact same traffic.
+    """
+    rng = random.Random(seed)
+    schedule: List[Tuple[str, int]] = []
+    cold = 0
+    for _ in range(requests):
+        if rng.random() < hot_fraction:
+            schedule.append(("hot", rng.randrange(hot_keys)))
+        else:
+            schedule.append(("cold", cold))
+            cold += 1
+    return schedule
+
+
+def percentile(samples: List[float], p: float) -> float:
+    """Nearest-rank percentile of raw client-side samples."""
+    ordered = sorted(samples)
+    rank = min(len(ordered) - 1, max(0, int(round(p * (len(ordered) - 1)))))
+    return ordered[rank]
+
+
+def replay(
+    port: int,
+    schedule: List[Tuple[str, int]],
+    hot_benches: List[str],
+    cold_benches: Dict[int, str],
+    threads: int,
+) -> Tuple[float, List[float]]:
+    """Drive the trace from ``threads`` clients; returns (wall, samples)."""
+    samples: List[List[float]] = [[] for _ in range(threads)]
+    failures: List[str] = []
+    barrier = threading.Barrier(threads + 1)
+
+    def worker(slot: int) -> None:
+        client = ServiceClient(port=port, timeout=300.0)
+        barrier.wait()
+        for kind, idx in schedule[slot::threads]:
+            bench = (
+                hot_benches[idx] if kind == "hot" else cold_benches[idx]
+            )
+            t0 = time.perf_counter()
+            row = client.compile_point(
+                bench=bench, circuit=f"{kind}-{idx}", lk=LK, seed=SEED
+            )
+            samples[slot].append(time.perf_counter() - t0)
+            if not row.get("ok"):
+                failures.append(f"{kind}-{idx}: {row.get('error')}")
+
+    pool = [
+        threading.Thread(target=worker, args=(slot,))
+        for slot in range(threads)
+    ]
+    for t in pool:
+        t.start()
+    barrier.wait()
+    t0 = time.perf_counter()
+    for t in pool:
+        t.join()
+    wall = time.perf_counter() - t0
+    if failures:
+        raise RuntimeError(f"replay failures: {failures[:5]}")
+    return wall, [s for per_thread in samples for s in per_thread]
+
+
+def bench_shard_count(
+    shards: int,
+    schedule: List[Tuple[str, int]],
+    hot_benches: List[str],
+    hot_entries: int,
+    threads: int,
+) -> Dict[str, object]:
+    """Boot a fleet, warm it, replay the trace, and collect the numbers."""
+    cold_benches = {
+        idx: generate_bench(COLD_SEED_BASE + idx, 64)
+        for kind, idx in schedule
+        if kind == "cold"
+    }
+    handle = FleetThread(
+        shards=shards,
+        config=ServiceConfig(
+            port=0,
+            workers=1,
+            queue_capacity=max(16, threads * 2),
+            timeout=300.0,
+            cache_dir=None,  # diskless: a hot-tier miss is a recompile
+            hot_entries=hot_entries,
+        ),
+        router_config=RouterConfig(port=0),
+    ).start()
+    try:
+        warm_client = ServiceClient(port=handle.port, timeout=300.0)
+        warm_client.wait_ready()
+        t0 = time.perf_counter()
+        for idx, bench in enumerate(hot_benches):
+            row = warm_client.compile_point(
+                bench=bench, circuit=f"hot-{idx}", lk=LK, seed=SEED
+            )
+            if not row.get("ok"):
+                raise RuntimeError(f"warmup failed: {row.get('error')}")
+        warm_seconds = time.perf_counter() - t0
+
+        wall, samples = replay(
+            handle.port, schedule, hot_benches, cold_benches, threads
+        )
+        metrics = warm_client.metrics()
+    finally:
+        handle.stop()
+
+    per_shard_hot = {
+        name: (payload.get("hot_cache") or {})
+        for name, payload in metrics["shards"].items()
+        if isinstance(payload, dict)
+    }
+    fleet_hot = metrics["fleet"].get("hot_cache") or {}
+    return {
+        "shards": shards,
+        "requests": len(schedule),
+        "wall_seconds": round(wall, 4),
+        "throughput_rps": round(len(schedule) / wall, 2),
+        "latency_p50_s": round(percentile(samples, 0.50), 6),
+        "latency_p99_s": round(percentile(samples, 0.99), 6),
+        "latency_mean_s": round(statistics.fmean(samples), 6),
+        "warmup_seconds": round(warm_seconds, 4),
+        "executed": metrics["fleet"]["counters"].get("executed", 0),
+        "hot_hits": metrics["fleet"]["counters"].get("hot_hits", 0),
+        "fleet_hot_hit_rate": round(fleet_hot.get("hit_rate", 0.0), 4),
+        "per_shard_hot_hit_rate": {
+            name: round(stats.get("hit_rate", 0.0), 4)
+            for name, stats in sorted(per_shard_hot.items())
+        },
+        "fleet_p99_from_metrics_s": round(
+            metrics["fleet"]["latency"]["request"]["p99_seconds"], 6
+        ),
+    }
+
+
+def bench_byte_identity(
+    hot_benches: List[str], cases: int, tmp_root: Path
+) -> Dict[str, object]:
+    """Same submissions at 1 vs 4 shards, disk tier ON: bytes must match."""
+    blobs: Dict[int, List[str]] = {}
+    for shards in (1, 4):
+        handle = FleetThread(
+            shards=shards,
+            config=ServiceConfig(
+                port=0,
+                workers=1,
+                timeout=300.0,
+                cache_dir=str(tmp_root / f"identity-{shards}"),
+                hot_entries=64,
+            ),
+            router_config=RouterConfig(port=0),
+        ).start()
+        try:
+            client = ServiceClient(port=handle.port, timeout=300.0)
+            client.wait_ready()
+            rows = []
+            for idx in range(cases):
+                row = client.compile_point(
+                    bench=hot_benches[idx],
+                    circuit=f"hot-{idx}",
+                    lk=LK,
+                    seed=SEED,
+                )
+                if not row.get("ok"):
+                    raise RuntimeError(
+                        f"identity case {idx} failed: {row.get('error')}"
+                    )
+                rows.append(json.dumps(row["value"], sort_keys=True))
+            blobs[shards] = rows
+        finally:
+            handle.stop()
+    identical = blobs[1] == blobs[4]
+    return {"cases": cases, "identical": identical}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", type=Path, default=OUT)
+    parser.add_argument("--requests", type=int, default=300)
+    parser.add_argument("--hot-keys", type=int, default=48)
+    parser.add_argument("--hot-entries", type=int, default=16)
+    parser.add_argument("--hot-fraction", type=float, default=0.97)
+    parser.add_argument("--threads", type=int, default=4)
+    parser.add_argument("--gates", type=int, default=64)
+    parser.add_argument(
+        "--shard-counts", type=int, nargs="+", default=[1, 2, 4]
+    )
+    parser.add_argument("--identity-cases", type=int, default=8)
+    parser.add_argument(
+        "--skip-identity",
+        action="store_true",
+        help="replay phase only (quicker smoke runs)",
+    )
+    args = parser.parse_args(argv)
+
+    print(
+        f"generating {args.hot_keys} hot circuits "
+        f"({args.gates} gates each)...",
+        flush=True,
+    )
+    hot_benches = [
+        generate_bench(HOT_SEED_BASE + i, args.gates)
+        for i in range(args.hot_keys)
+    ]
+    schedule = build_schedule(
+        args.requests, args.hot_keys, args.hot_fraction, SEED
+    )
+
+    runs = {}
+    for shards in args.shard_counts:
+        print(f"replaying {args.requests} requests at {shards} shard(s)...",
+              flush=True)
+        result = bench_shard_count(
+            shards, schedule, hot_benches, args.hot_entries, args.threads
+        )
+        runs[str(shards)] = result
+        print(
+            f"  {shards} shard(s): {result['throughput_rps']:8.1f} req/s  "
+            f"p50={result['latency_p50_s'] * 1e3:7.2f}ms  "
+            f"p99={result['latency_p99_s'] * 1e3:7.2f}ms  "
+            f"hot_hit_rate={result['fleet_hot_hit_rate']:.2%}",
+            flush=True,
+        )
+
+    scaling = {}
+    if "1" in runs and "4" in runs:
+        ratio = runs["4"]["throughput_rps"] / runs["1"]["throughput_rps"]
+        single_rate = runs["1"]["fleet_hot_hit_rate"]
+        per_shard = runs["4"]["per_shard_hot_hit_rate"].values()
+        scaling = {
+            "throughput_x4_over_x1": round(ratio, 2),
+            "meets_3x": ratio >= 3.0,
+            "hit_rate_single": single_rate,
+            "hit_rate_min_shard_at_4": round(min(per_shard), 4),
+            "hit_rate_parity": min(per_shard) >= single_rate,
+        }
+        print(
+            f"scaling: 4-shard/1-shard throughput = {ratio:.2f}x "
+            f"(>=3x {'MET' if scaling['meets_3x'] else 'NOT MET'})",
+            flush=True,
+        )
+
+    identity = None
+    if not args.skip_identity:
+        print("byte-identity phase (disk tier on, 1 vs 4 shards)...",
+              flush=True)
+        import tempfile
+
+        with tempfile.TemporaryDirectory() as tmp:
+            identity = bench_byte_identity(
+                hot_benches, min(args.identity_cases, args.hot_keys),
+                Path(tmp),
+            )
+        print(
+            f"  {identity['cases']} cases byte-identical: "
+            f"{identity['identical']}",
+            flush=True,
+        )
+
+    payload = {
+        "_meta": {
+            "workload": (
+                "consistent-hash fleet traffic replay, "
+                "hot/cold mixed, diskless hot tier"
+            ),
+            "lk": LK,
+            "seed": SEED,
+            "gates_per_circuit": args.gates,
+            "hot_keys": args.hot_keys,
+            "hot_entries_per_shard": args.hot_entries,
+            "hot_fraction": args.hot_fraction,
+            "requests": args.requests,
+            "client_threads": args.threads,
+            "python": platform.python_version(),
+            "host_cpus": os.cpu_count(),
+            "note": (
+                "single-CPU hosts scale via aggregate hot-tier "
+                "capacity, not compute; throughput_x4_over_x1 is the "
+                "acceptance ratio"
+            ),
+        },
+        "shard_counts": runs,
+        "scaling": scaling,
+        "byte_identity": identity,
+    }
+    args.out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

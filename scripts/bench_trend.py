@@ -27,6 +27,17 @@ exits 2 when ``dropped_cuts`` changes, ``bf_relaxations`` grows by more
 than 10%, or a subsampled (stride ≠ 1) run would be compared against a
 full-cut-set baseline:
     PYTHONPATH=src python scripts/bench_trend.py --check --circuits s641
+
+``--check`` also statically validates the committed fleet baseline
+(``BENCH_service_fleet.json``, written by
+``benchmarks/bench_service_fleet.py``): the ≥3× 4-shard/1-shard
+throughput ratio, per-shard hit-rate parity, and byte-identity flags
+must all hold.  That file is validated, never re-run, so CI stays fast.
+
+Opt-in axes: heavyweight circuits that should not run on every CI pass
+(e.g. ``corpus-200k``) are excluded from the default set but can be
+appended with ``--include``:
+    PYTHONPATH=src python scripts/bench_trend.py --include corpus-200k
 """
 
 from __future__ import annotations
@@ -55,6 +66,7 @@ from repro.perf import profiled, stage  # noqa: E402
 from repro.retiming.solve import solve_cut_retiming  # noqa: E402
 
 OUT = REPO / "BENCH_partition.json"
+FLEET_OUT = REPO / "BENCH_service_fleet.json"
 
 #: Default bench set (matches benchmarks/conftest.py SMALL + MEDIUM),
 #: plus one generated corpus circuit at the paper's claimed scale so the
@@ -71,6 +83,13 @@ CIRCUITS = [
     "s5378",
     "corpus-50k",
 ]
+
+#: Opt-in axes: valid ``--include`` names that are deliberately absent
+#: from :data:`CIRCUITS` so default (and CI) runs stay fast.  The
+#: 200k-gate corpus circuit takes minutes on a laptop-class host —
+#: include it explicitly when probing scale:
+#:     bench_trend.py --include corpus-200k
+OPT_IN_CIRCUITS = ["corpus-200k"]
 
 
 def load_trend_circuit(name):
@@ -178,6 +197,42 @@ def check_circuit(name: str, result: dict, baseline: dict) -> list:
     return problems
 
 
+def check_fleet_baseline(path: Path) -> list:
+    """Statically validate the committed fleet-benchmark baseline.
+
+    ``benchmarks/bench_service_fleet.py`` boots real multi-process
+    fleets and replays hundreds of requests — far too heavy for every
+    CI pass — so the guard only asserts that the *committed* result
+    still claims what the serve fleet promises: ≥3× 4-shard/1-shard
+    throughput, per-shard hot hit rate no worse than single-process,
+    and byte-identical responses across shard counts.
+    """
+    if not path.exists():
+        return [f"fleet: no committed baseline at {path}"]
+    try:
+        data = json.loads(path.read_text())
+    except ValueError as exc:
+        return [f"fleet: {path} is not valid JSON ({exc})"]
+    problems = []
+    scaling = data.get("scaling") or {}
+    ratio = scaling.get("throughput_x4_over_x1")
+    if not scaling.get("meets_3x") or not ratio or ratio < 3.0:
+        problems.append(
+            f"fleet: 4-shard/1-shard throughput {ratio} fails the >=3x bar"
+        )
+    if not scaling.get("hit_rate_parity"):
+        problems.append(
+            "fleet: per-shard hot hit rate fell below the "
+            "single-process rate"
+        )
+    identity = data.get("byte_identity") or {}
+    if not identity.get("identical"):
+        problems.append(
+            "fleet: responses are not byte-identical across shard counts"
+        )
+    return problems
+
+
 def main(argv=None) -> None:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--out", type=Path, default=OUT)
@@ -185,12 +240,22 @@ def main(argv=None) -> None:
         "--circuits", nargs="*", default=CIRCUITS, metavar="NAME"
     )
     parser.add_argument(
+        "--include",
+        nargs="*",
+        default=[],
+        metavar="NAME",
+        help="append opt-in axes excluded from the default set "
+        f"(e.g. {' '.join(OPT_IN_CIRCUITS)})",
+    )
+    parser.add_argument(
         "--check",
         action="store_true",
         help="compare against the committed baseline instead of writing; "
-        "exit 2 on dropped_cuts / bf_relaxations / stride regressions",
+        "exit 2 on dropped_cuts / bf_relaxations / stride regressions or "
+        "a failing fleet baseline (BENCH_service_fleet.json)",
     )
     args = parser.parse_args(argv)
+    args.circuits = list(args.circuits) + list(args.include)
     baseline = None
     if args.check:
         if not args.out.exists():
@@ -222,6 +287,7 @@ def main(argv=None) -> None:
         if baseline is not None:
             problems.extend(check_circuit(name, result, baseline))
     if args.check:
+        problems.extend(check_fleet_baseline(FLEET_OUT))
         if problems:
             for p in problems:
                 print(f"REGRESSION {p}", file=sys.stderr)

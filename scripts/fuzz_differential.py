@@ -48,6 +48,14 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--max-gates", type=int, default=640, help="largest drawn circuit"
     )
+    parser.add_argument(
+        "--solver-max-gates",
+        type=int,
+        default=None,
+        help="raise the circuit-size cap on the dense greedy-vs-mcf "
+        "solver differential (default: keep the interactive 384-gate "
+        "cap; nightly runs pass a larger value)",
+    )
     parser.add_argument("--lk", type=int, default=16, help="CUT input bound l_k")
     parser.add_argument("--beta", type=int, default=1, help="SCC cut budget factor")
     parser.add_argument(
@@ -83,6 +91,7 @@ def main(argv=None) -> int:
         with_service=not args.no_service,
         checks=args.checks,
         log=print,
+        solver_max_gates=args.solver_max_gates,
     )
     elapsed = time.perf_counter() - t0
 

@@ -435,6 +435,7 @@ def run_fuzz(
     with_service: bool = False,
     checks: Optional[Sequence[str]] = None,
     log: Optional[Callable[[str], None]] = None,
+    solver_max_gates: Optional[int] = None,
 ) -> FuzzReport:
     """Run ``rounds`` differential fuzz rounds; archive every mismatch.
 
@@ -455,7 +456,16 @@ def run_fuzz(
             ``merced serve`` thread for the session).
         checks: restrict to a subset of :data:`CHECKS`.
         log: optional progress sink (e.g. ``print``).
+        solver_max_gates: raise (or lower) the circuit-size cap on the
+            dense greedy-vs-mcf solver differential; ``None`` keeps
+            :data:`_SOLVER_CHECK_MAX_GATES`.  Nightly runs raise it to
+            cover the mcf backend well above the interactive cap.
     """
+    solver_cap = (
+        _SOLVER_CHECK_MAX_GATES
+        if solver_max_gates is None
+        else solver_max_gates
+    )
     enabled = list(checks) if checks is not None else list(CHECKS)
     unknown = set(enabled) - set(CHECKS)
     if unknown:
@@ -494,10 +504,7 @@ def run_fuzz(
             netlist = generate_corpus_circuit(spec)
             report.rounds += 1
             for check in enabled:
-                if (
-                    check == "solver"
-                    and spec.n_gates > _SOLVER_CHECK_MAX_GATES
-                ):
+                if check == "solver" and spec.n_gates > solver_cap:
                     continue
                 detail = _run_check(check, netlist, client, lk, beta)
                 report.checks_run[check] = (

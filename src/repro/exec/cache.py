@@ -1,15 +1,25 @@
-"""On-disk result cache for sweep points.
+"""Result caches for sweep points: on-disk tier + in-memory hot tier.
 
-Layout: ``<dir>/<key[:2]>/<key>.json`` — one JSON document per result,
-sharded by the first key byte so directories stay small on big grids.
-Writes are atomic (*write to a temp file in the same directory, then
+:class:`ResultCache` — the on-disk tier.  Layout:
+``<dir>/<key[:2]>/<key>.json`` — one JSON document per result, sharded
+by the first key byte so directories stay small on big grids.  Writes
+are atomic (*write to a temp file in the same directory, then
 ``os.replace``*), so a cache shared by concurrent sweeps or killed
 mid-write never yields a torn read; a corrupt or unreadable entry is
 treated as a miss and overwritten on the next store.
 
-Only *successful* payloads are cached: failures must re-execute on the
-next run (the failure may have been transient, and `degraded rows
-should never outlive the sweep that produced them`).
+:class:`HotCache` — the bounded in-memory tier the compile service
+keeps *above* the disk cache: an LRU of already-serialized payload
+bytes keyed by the same content hash, so a repeat-hot circuit is served
+straight from memory with no disk I/O and no JSON re-serialization.
+Entries and total payload bytes are both bounded; eviction is
+strict-LRU and every hit/miss/eviction is counted
+(:class:`HotCacheStats`), which is what the fleet benchmark's
+cache-hit-vs-shard-count curves are built from.
+
+Only *successful* payloads are cached in either tier: failures must
+re-execute on the next run (the failure may have been transient, and
+`degraded rows should never outlive the sweep that produced them`).
 
 Invalidation is entirely key-side (see :mod:`repro.exec.hashing`): a
 changed netlist, configuration, or code version simply hashes to a new
@@ -22,12 +32,14 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+import threading
 import time
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Optional, Union
 
-__all__ = ["CacheStats", "ResultCache"]
+__all__ = ["CacheStats", "ResultCache", "HotCacheStats", "HotCache"]
 
 
 @dataclass
@@ -160,6 +172,23 @@ class ResultCache:
                 pass
         return n
 
+    def get_bytes(self, key: str) -> Optional[bytes]:
+        """The cached payload for ``key`` as serialized JSON bytes.
+
+        Same hit/miss/error accounting as :meth:`get`, but re-encodes
+        the payload with sorted keys — the canonical byte form the
+        service's hot tier stores, so a disk hit can be promoted into
+        memory without a second serialization later.
+        """
+        payload = self.get(key)
+        if payload is None:
+            return None
+        try:
+            return json.dumps(payload, sort_keys=True).encode("utf-8")
+        except (TypeError, ValueError):
+            self.stats.errors += 1
+            return None
+
     def flush(self, min_age_s: float = 0.0) -> int:
         """Remove orphaned ``.tmp-*`` files; returns how many were removed.
 
@@ -186,3 +215,151 @@ class ResultCache:
             except OSError:
                 pass
         return n
+
+
+@dataclass
+class HotCacheStats:
+    """Hit/miss/eviction counters of one :class:`HotCache` instance."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    evictions: int = 0
+    oversized: int = 0  # payloads rejected for exceeding the byte bound
+
+    @property
+    def lookups(self) -> int:
+        """Total ``get`` calls."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits per lookup (0.0 when nothing was looked up)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        """Plain-dict view (merged into the service ``/metrics``)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "evictions": self.evictions,
+            "oversized": self.oversized,
+            "hit_rate": self.hit_rate,
+        }
+
+
+class HotCache:
+    """Bounded in-memory LRU of serialized payload bytes, keyed by content hash.
+
+    The compile service's hot tier: values are the *already-serialized*
+    (sorted-keys JSON) payload bytes, so serving a hit does no disk I/O
+    and no JSON round-trip — the bytes are spliced straight into the
+    HTTP response.  Both the entry count and the summed payload bytes
+    are bounded; insertion evicts strict-LRU until both bounds hold.
+    Thread-safe: the service touches it from the event loop *and* from
+    executor threads.
+
+    Like the disk tier, keys are content hashes (netlist + config +
+    code version), so entries can be stale-useless but never stale-wrong.
+
+    Example:
+        >>> hot = HotCache(max_entries=2, max_bytes=1024)
+        >>> hot.put("a" * 64, b'{"x":1}')
+        True
+        >>> hot.get("a" * 64)
+        b'{"x":1}'
+        >>> hot.put("b" * 64, b'{"x":2}') and hot.put("c" * 64, b'{"x":3}')
+        True
+        >>> hot.get("a" * 64) is None  # LRU-evicted by the third insert
+        True
+        >>> (hot.stats.hits, hot.stats.misses, hot.stats.evictions)
+        (1, 1, 1)
+    """
+
+    def __init__(self, max_entries: int = 512, max_bytes: int = 64 << 20):
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        if max_bytes < 1:
+            raise ValueError(f"max_bytes must be >= 1, got {max_bytes}")
+        self.max_entries = max_entries
+        self.max_bytes = max_bytes
+        self.stats = HotCacheStats()
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[str, bytes]" = OrderedDict()
+        self._bytes = 0
+
+    def get(self, key: str) -> Optional[bytes]:
+        """The cached payload bytes for ``key`` (refreshing its recency)."""
+        with self._lock:
+            blob = self._entries.get(key)
+            if blob is None:
+                self.stats.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return blob
+
+    def peek(self, key: str) -> bool:
+        """Whether ``key`` is resident, without touching recency or stats."""
+        with self._lock:
+            return key in self._entries
+
+    def put(self, key: str, blob: bytes) -> bool:
+        """Insert ``blob`` under ``key``; ``True`` unless it can never fit.
+
+        A payload larger than ``max_bytes`` on its own is rejected
+        (counted as ``oversized``) rather than evicting the whole tier
+        for one giant entry.  Re-inserting an existing key refreshes
+        both the value and its recency.
+        """
+        size = len(blob)
+        if size > self.max_bytes:
+            with self._lock:
+                self.stats.oversized += 1
+            return False
+        with self._lock:
+            old = self._entries.pop(key, None)
+            if old is not None:
+                self._bytes -= len(old)
+            self._entries[key] = blob
+            self._bytes += size
+            self.stats.stores += 1
+            while len(self._entries) > self.max_entries or (
+                self._bytes > self.max_bytes
+            ):
+                _, evicted = self._entries.popitem(last=False)
+                self._bytes -= len(evicted)
+                self.stats.evictions += 1
+        return True
+
+    def clear(self) -> int:
+        """Drop every entry; returns how many were dropped."""
+        with self._lock:
+            n = len(self._entries)
+            self._entries.clear()
+            self._bytes = 0
+            return n
+
+    def __len__(self) -> int:
+        """Number of resident entries."""
+        with self._lock:
+            return len(self._entries)
+
+    @property
+    def payload_bytes(self) -> int:
+        """Summed size of the resident payload bytes."""
+        with self._lock:
+            return self._bytes
+
+    def as_dict(self) -> Dict[str, object]:
+        """Stats + occupancy snapshot (for ``/metrics``)."""
+        with self._lock:
+            snapshot = {
+                "entries": len(self._entries),
+                "payload_bytes": self._bytes,
+                "max_entries": self.max_entries,
+                "max_bytes": self.max_bytes,
+            }
+        snapshot.update(self.stats.as_dict())
+        return snapshot

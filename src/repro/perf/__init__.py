@@ -1,6 +1,7 @@
 """Performance instrumentation: stage timers, counters, JSON traces."""
 
 from .trace import (
+    LatencyHistogram,
     PerfTrace,
     activate,
     clear_failed_stage,
@@ -14,6 +15,7 @@ from .trace import (
 )
 
 __all__ = [
+    "LatencyHistogram",
     "PerfTrace",
     "activate",
     "clear_failed_stage",

@@ -41,6 +41,7 @@ from typing import Dict, Iterator, List, Optional
 
 __all__ = [
     "PerfTrace",
+    "LatencyHistogram",
     "activate",
     "deactivate",
     "current_trace",
@@ -182,6 +183,134 @@ class PerfTrace:
             f"<PerfTrace {self.label!r}: {len(self.stages)} stages, "
             f"{len(self.counters)} counters>"
         )
+
+
+class LatencyHistogram:
+    """Geometric-bucket latency histogram with p50/p99 estimation.
+
+    Buckets grow by a fixed ``growth`` factor from a ``floor_s`` lower
+    bound — 48 buckets at the defaults span ~20 µs to ~80 s, plenty for
+    a compile service whose responses range from in-memory hot-cache
+    splices to multi-second cold compiles.  Percentiles interpolate
+    linearly inside the winning bucket, so they are estimates with
+    bounded relative error (one ``growth`` step), not exact order
+    statistics — the right trade for an always-on service counter.
+
+    Histograms with identical geometry **merge** by bucket-wise
+    addition; the fleet router uses this to aggregate per-shard
+    ``/metrics`` histograms into one fleet-wide p50/p99.  Callers
+    provide thread-safety (the service metrics lock); the class itself
+    is plain counters.
+
+    Example:
+        >>> h = LatencyHistogram()
+        >>> for ms in (1, 1, 2, 100):
+        ...     h.observe(ms / 1000.0)
+        >>> h.count
+        4
+        >>> 0.0005 < h.percentile(50) < 0.004
+        True
+        >>> 0.03 < h.percentile(99) < 0.3
+        True
+    """
+
+    def __init__(
+        self,
+        floor_s: float = 2e-5,
+        growth: float = 1.6,
+        n_buckets: int = 48,
+    ):
+        if floor_s <= 0 or growth <= 1.0 or n_buckets < 2:
+            raise ValueError("invalid histogram geometry")
+        self.floor_s = floor_s
+        self.growth = growth
+        self.n_buckets = n_buckets
+        self.buckets: List[int] = [0] * n_buckets
+        self.count = 0
+        self.sum_seconds = 0.0
+        self.max_seconds = 0.0
+
+    def _bucket_of(self, seconds: float) -> int:
+        if seconds <= self.floor_s:
+            return 0
+        import math
+
+        index = int(math.log(seconds / self.floor_s, self.growth)) + 1
+        return min(index, self.n_buckets - 1)
+
+    def _upper_bound(self, index: int) -> float:
+        return self.floor_s * (self.growth ** index)
+
+    def observe(self, seconds: float) -> None:
+        """Record one latency sample."""
+        self.buckets[self._bucket_of(seconds)] += 1
+        self.count += 1
+        self.sum_seconds += seconds
+        if seconds > self.max_seconds:
+            self.max_seconds = seconds
+
+    def percentile(self, p: float) -> float:
+        """Estimated ``p``-th percentile in seconds (0 with no samples)."""
+        if not self.count:
+            return 0.0
+        rank = p / 100.0 * self.count
+        seen = 0
+        for index, n in enumerate(self.buckets):
+            if not n:
+                continue
+            if seen + n >= rank:
+                lower = self._upper_bound(index - 1) if index else 0.0
+                upper = min(self._upper_bound(index), self.max_seconds)
+                if upper < lower:
+                    upper = lower
+                fraction = (rank - seen) / n
+                return lower + (upper - lower) * fraction
+            seen += n
+        return self.max_seconds
+
+    def merge(self, data: Dict[str, object]) -> None:
+        """Fold another histogram's :meth:`as_dict` into this one.
+
+        Raises ``ValueError`` on mismatched geometry — merging buckets
+        measured on different scales would silently corrupt percentiles.
+        """
+        geometry = data.get("geometry", {})
+        mine = (self.floor_s, self.growth, self.n_buckets)
+        theirs = (
+            geometry.get("floor_s"),
+            geometry.get("growth"),
+            geometry.get("n_buckets"),
+        )
+        if mine != theirs:
+            raise ValueError(
+                f"histogram geometry mismatch: {mine} != {theirs}"
+            )
+        for index, n in enumerate(data.get("buckets", [])):
+            self.buckets[index] += int(n)
+        self.count += int(data.get("count", 0))
+        self.sum_seconds += float(data.get("sum_seconds", 0.0))
+        self.max_seconds = max(
+            self.max_seconds, float(data.get("max_seconds", 0.0))
+        )
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-ready snapshot: summary percentiles + raw buckets."""
+        return {
+            "count": self.count,
+            "sum_seconds": self.sum_seconds,
+            "max_seconds": self.max_seconds,
+            "mean_seconds": (
+                self.sum_seconds / self.count if self.count else 0.0
+            ),
+            "p50_seconds": self.percentile(50),
+            "p99_seconds": self.percentile(99),
+            "buckets": list(self.buckets),
+            "geometry": {
+                "floor_s": self.floor_s,
+                "growth": self.growth,
+                "n_buckets": self.n_buckets,
+            },
+        }
 
 
 #: The currently active trace (None → instrumentation is a no-op).

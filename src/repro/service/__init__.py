@@ -13,8 +13,17 @@ front-end on top of it so work can arrive from *outside* the process:
   enforced off the main thread by :mod:`repro.exec.watchdog`, graceful
   SIGTERM drain, and a ``/metrics`` endpoint;
 * :mod:`repro.service.client` — :class:`ServiceClient`, the thin
-  blocking client the ``merced submit`` CLI, the tests, and future
-  multi-host sharding all share;
+  blocking client the ``merced submit`` CLI, the tests, and the fleet
+  all share, with ``Retry-After``-honoring busy retries;
+* :mod:`repro.service.router` — :class:`FleetRouter`: a consistent-hash
+  front router that keys on the same
+  :func:`~repro.exec.hashing.point_key` the workers coalesce by, with
+  graduated load-shedding (full → cache_only → lint_only → 429) and
+  fleet-wide ``/metrics`` aggregation;
+* :mod:`repro.service.fleet` — :class:`CompileFleet` /
+  :class:`FleetThread`: N worker shard processes (each with its own
+  in-memory hot tier and cache slice) behind one router — the
+  ``merced serve --shards N`` deployment;
 * :mod:`repro.service.cli` — the ``merced serve`` / ``merced submit``
   subcommand entry points.
 
@@ -26,11 +35,18 @@ byte equality.
 """
 
 from .client import ServiceClient
+from .fleet import CompileFleet, FleetThread
+from .router import FleetRouter, HashRing, RouterConfig
 from .server import CompileService, ServiceConfig, ServiceMetrics, ServiceThread
 
 __all__ = [
     "ServiceClient",
     "CompileService",
+    "CompileFleet",
+    "FleetRouter",
+    "FleetThread",
+    "HashRing",
+    "RouterConfig",
     "ServiceConfig",
     "ServiceMetrics",
     "ServiceThread",

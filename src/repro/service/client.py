@@ -12,12 +12,21 @@ non-200 responses (backpressure ``429``, drain ``503``, malformed
 response payload attached.  A ``200`` with ``"ok": false`` is *not* an
 exception — that is a degraded compile result, delivered as data, same
 as the farm's error rows.
+
+Backpressure is retried, not failed: a ``429`` answer carries the
+service's ``Retry-After`` hint, and the client honors it with bounded,
+jittered, exponentially backed-off retries (``retries`` attempts,
+``retry_on_busy=False`` to opt out) before surfacing the rejection.
+Jitter matters — the 429 means the service is saturated, and N clients
+retrying on the exact same hint would arrive as one synchronized
+stampede.
 """
 
 from __future__ import annotations
 
 import http.client
 import json
+import random
 import time
 from typing import Dict, List, Optional, Tuple
 
@@ -37,23 +46,36 @@ class ServiceClient:
         assert row["ok"] and row["value"]["n_partitions"] >= 1
     """
 
+    #: Backoff ceiling for one busy-retry sleep, in seconds.
+    MAX_RETRY_SLEEP = 30.0
+
     def __init__(
         self,
         host: str = "127.0.0.1",
         port: int = 8356,
         timeout: float = 600.0,
+        retries: int = 4,
+        retry_on_busy: bool = True,
     ):
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.retries = retries
+        self.retry_on_busy = retry_on_busy
+        # Backoff jitter must differ *between* clients (that's the
+        # point of jitter), so this RNG is deliberately OS-seeded —
+        # not the deterministic stream the kernels require.
+        self._jitter = random.Random()  # lint: disable=KRN002
 
     # ------------------------------------------------------------------
     # transport
     # ------------------------------------------------------------------
     def _request(
         self, method: str, path: str, payload: Optional[object] = None
-    ) -> Tuple[int, object]:
-        """One request/response exchange; returns ``(status, json_body)``."""
+    ) -> Tuple[int, object, Optional[float]]:
+        """One exchange; returns ``(status, json_body, retry_after)``."""
         body = None
         headers = {}
         if payload is not None:
@@ -79,10 +101,33 @@ class ServiceClient:
             raise ServiceError(
                 f"malformed response from service (HTTP {response.status})"
             ) from exc
-        return response.status, document
+        retry_after = None
+        hint = response.getheader("Retry-After")
+        if hint is not None:
+            try:
+                retry_after = float(hint)
+            except ValueError:
+                pass  # HTTP-date form: fall back to the payload/default
+        return response.status, document, retry_after
 
     def _checked(self, method: str, path: str, payload=None) -> object:
-        status, document = self._request(method, path, payload)
+        budget = self.retries if self.retry_on_busy else 0
+        for attempt in range(budget + 1):
+            status, document, retry_after = self._request(
+                method, path, payload
+            )
+            if status != 429 or attempt == budget:
+                break
+            if retry_after is None and isinstance(document, dict):
+                hinted = document.get("retry_after")
+                if isinstance(hinted, (int, float)):
+                    retry_after = float(hinted)
+            # Exponential backoff from the service's hint, jittered so
+            # coordinated clients don't re-stampede in lockstep.
+            base = min(
+                (retry_after or 0.5) * (2**attempt), self.MAX_RETRY_SLEEP
+            )
+            time.sleep(base * (0.75 + 0.5 * self._jitter.random()))
         if status != 200:
             raise ServiceRejectedError(status, document)
         return document

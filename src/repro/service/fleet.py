@@ -1,0 +1,292 @@
+"""`CompileFleet` — supervisor for a sharded compile fleet.
+
+Spawns N :class:`~repro.service.server.CompileService` worker
+*processes* (``multiprocessing`` spawn context — clean interpreters,
+no inherited event loops or locks), each bound to its own ephemeral
+port with its own hot tier and its own slice of the on-disk cache
+(``<cache>/shard-i``), then fronts them with a consistent-hash
+:class:`~repro.service.router.FleetRouter` on the public port.
+
+Why processes, not threads: one CPython process serializes compiles on
+the GIL, so a fleet's throughput lever on repeat-heavy traffic is
+*aggregate hot-tier capacity* — consistent hashing partitions the key
+space, so four shards hold four hot tiers' worth of distinct circuits,
+and a working set that thrashes one shard's LRU fits the fleet's.
+On multi-core hosts the same layout also buys CPU parallelism for the
+cold misses, with no code change.
+
+Lifecycle:
+
+* **Boot** — each worker reports its bound port back over a pipe
+  before the router starts; a worker that fails to bind fails the
+  whole boot (and the already-started workers are cleaned up).
+* **SIGTERM** — the CLI wiring (``merced serve --shards N``) drains
+  the router first (public port answers 503), then SIGTERMs every
+  worker, which runs the single-process graceful drain (finish
+  in-flight, flush cache temp files); workers that outlive the grace
+  period are killed.
+* **Embedding** — :class:`FleetThread` mirrors
+  :class:`~repro.service.server.ServiceThread`: the whole fleet behind
+  one blocking ``start()``/``stop()`` pair, for tests and benchmarks.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import multiprocessing
+import os
+import signal
+import threading
+from dataclasses import asdict, replace
+from typing import Dict, List, Optional, Tuple
+
+from .router import FleetRouter, RouterConfig
+from .server import CompileService, ServiceConfig
+
+__all__ = ["CompileFleet", "FleetThread"]
+
+
+def _worker_main(conn, config_kwargs: Dict[str, object]) -> None:
+    """Worker-process entry: run one CompileService until SIGTERM.
+
+    Reports ``("ready", port)`` or ``("error", message)`` over ``conn``
+    once the listener is (or fails to be) bound, then serves until
+    SIGTERM/SIGINT and drains gracefully.  Top-level so the spawn
+    context can import it.
+    """
+
+    async def run() -> None:
+        service = CompileService(ServiceConfig(**config_kwargs))
+        try:
+            await service.start()
+        except Exception as exc:
+            conn.send(("error", f"{type(exc).__name__}: {exc}"))
+            conn.close()
+            return
+        conn.send(("ready", service.port))
+        conn.close()
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(signum, stop.set)
+            except (NotImplementedError, RuntimeError):
+                pass
+        await stop.wait()
+        await service.drain()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        pass
+
+
+class CompileFleet:
+    """N worker shards + one router, managed as a unit.
+
+    Blocking process management (spawn/signal/join) plus an async
+    router lifecycle — the split mirrors how the pieces run: workers
+    are OS processes, the router lives on the caller's event loop.
+
+    Example (see :class:`FleetThread` for the blocking embedding)::
+
+        fleet = CompileFleet(shards=4, config=ServiceConfig(...))
+        fleet.start_workers()          # blocking: spawn + wait for ports
+        await fleet.start()            # router binds; fleet.port is set
+        ...
+        await fleet.drain()            # router stops accepting
+        fleet.shutdown()               # SIGTERM workers, reap
+    """
+
+    def __init__(
+        self,
+        shards: int = 2,
+        config: Optional[ServiceConfig] = None,
+        router_config: Optional[RouterConfig] = None,
+        boot_timeout: float = 60.0,
+    ):
+        if shards < 1:
+            raise ValueError(f"a fleet needs >= 1 shard, got {shards}")
+        self.n_shards = shards
+        self.config = config or ServiceConfig()
+        self.router_config = router_config or RouterConfig()
+        self.boot_timeout = boot_timeout
+        self.workers: Dict[str, multiprocessing.process.BaseProcess] = {}
+        self.addresses: Dict[str, Tuple[str, int]] = {}
+        self.router: Optional[FleetRouter] = None
+
+    @property
+    def port(self) -> Optional[int]:
+        """The router's bound public port, once :meth:`start` returned."""
+        return self.router.port if self.router is not None else None
+
+    def _shard_config(self, name: str) -> ServiceConfig:
+        """Per-shard ServiceConfig: own ephemeral port, own cache slice."""
+        cache_dir = self.config.cache_dir
+        if cache_dir:
+            cache_dir = os.path.join(cache_dir, name)
+        return replace(
+            self.config, port=0, cache_dir=cache_dir, shard_name=name
+        )
+
+    def start_workers(self) -> Dict[str, Tuple[str, int]]:
+        """Spawn every worker and wait for its bound port (blocking).
+
+        Raises ``RuntimeError`` (after cleaning up whatever did start)
+        if any worker fails to report ready within ``boot_timeout``.
+        """
+        ctx = multiprocessing.get_context("spawn")
+        pending: List[Tuple[str, object]] = []
+        try:
+            for i in range(self.n_shards):
+                name = f"shard-{i}"
+                shard_config = self._shard_config(name)
+                parent_conn, child_conn = ctx.Pipe(duplex=False)
+                process = ctx.Process(
+                    target=_worker_main,
+                    args=(child_conn, asdict(shard_config)),
+                    name=f"merced-{name}",
+                    daemon=True,
+                )
+                process.start()
+                child_conn.close()
+                self.workers[name] = process
+                pending.append((name, parent_conn))
+            for name, parent_conn in pending:
+                if not parent_conn.poll(self.boot_timeout):
+                    raise RuntimeError(f"{name} did not report in time")
+                status, value = parent_conn.recv()
+                if status != "ready":
+                    raise RuntimeError(f"{name} failed to start: {value}")
+                self.addresses[name] = (self.config.host, int(value))
+        except BaseException:
+            self.shutdown(grace=2.0)
+            raise
+        finally:
+            for _, parent_conn in pending:
+                parent_conn.close()
+        return dict(self.addresses)
+
+    async def start(self) -> None:
+        """Bind the router over the (already started) worker shards."""
+        if not self.addresses:
+            raise RuntimeError("call start_workers() before start()")
+        self.router = FleetRouter(self.addresses, self.router_config)
+        await self.router.start()
+
+    async def drain(self) -> None:
+        """Stop the public listener; workers keep finishing in-flight."""
+        if self.router is not None:
+            await self.router.drain()
+
+    def stop_worker(self, name: str, sig: int = signal.SIGTERM) -> None:
+        """Signal one worker (fleet tests use SIGKILL for shard loss)."""
+        process = self.workers.get(name)
+        if process is not None and process.is_alive() and process.pid:
+            os.kill(process.pid, sig)
+
+    def shutdown(self, grace: float = 30.0) -> None:
+        """SIGTERM every worker, join with ``grace``, kill stragglers."""
+        for name in self.workers:
+            self.stop_worker(name, signal.SIGTERM)
+        for process in self.workers.values():
+            process.join(grace)
+        for process in self.workers.values():
+            if process.is_alive():
+                process.kill()
+                process.join(5.0)
+
+
+class FleetThread:
+    """Run a whole :class:`CompileFleet` behind a blocking start/stop.
+
+    The fleet counterpart of
+    :class:`~repro.service.server.ServiceThread` — worker processes are
+    spawned from the calling thread, the router's event loop runs on a
+    daemon thread::
+
+        handle = FleetThread(shards=4, config=ServiceConfig(...))
+        handle.start()                  # blocks until the fleet is up
+        client = ServiceClient(port=handle.port)
+        ...
+        handle.stop()                   # drain router, SIGTERM workers
+    """
+
+    def __init__(
+        self,
+        shards: int = 2,
+        config: Optional[ServiceConfig] = None,
+        router_config: Optional[RouterConfig] = None,
+        boot_timeout: float = 60.0,
+    ):
+        self.fleet = CompileFleet(
+            shards=shards,
+            config=config,
+            router_config=router_config,
+            boot_timeout=boot_timeout,
+        )
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._started = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+
+    @property
+    def port(self) -> Optional[int]:
+        """The router's public port once :meth:`start` has returned."""
+        return self.fleet.port
+
+    @property
+    def router(self) -> Optional[FleetRouter]:
+        """The live router (for metrics/ring inspection in tests)."""
+        return self.fleet.router
+
+    def start(self, timeout: float = 120.0) -> "FleetThread":
+        """Spawn workers, then the router loop; blocks until bound."""
+        self.fleet.start_workers()
+        self._thread = threading.Thread(
+            target=self._run, name="merced-fleet", daemon=True
+        )
+        self._thread.start()
+        if not self._started.wait(timeout):
+            self.fleet.shutdown(grace=2.0)
+            raise RuntimeError("fleet router failed to start in time")
+        if self._startup_error is not None:
+            self.fleet.shutdown(grace=2.0)
+            raise RuntimeError(
+                f"fleet router failed to start: {self._startup_error}"
+            )
+        return self
+
+    def _run(self) -> None:
+        self._loop = asyncio.new_event_loop()
+        try:
+            try:
+                self._loop.run_until_complete(self.fleet.start())
+            except BaseException as exc:
+                self._startup_error = exc
+                return
+            finally:
+                self._started.set()
+            self._loop.run_forever()
+        finally:
+            self._loop.close()
+
+    def stop_worker(self, name: str, sig: int = signal.SIGTERM) -> None:
+        """Signal one worker shard (shard-loss tests)."""
+        self.fleet.stop_worker(name, sig)
+
+    def stop(self, timeout: float = 60.0) -> None:
+        """Drain the router, stop its loop, then shut the workers down."""
+        if self._loop is not None and not self._loop.is_closed():
+            if self.fleet.router is not None:
+                future = asyncio.run_coroutine_threadsafe(
+                    self.fleet.drain(), self._loop
+                )
+                try:
+                    future.result(timeout)
+                except Exception:
+                    pass
+            self._loop.call_soon_threadsafe(self._loop.stop)
+            if self._thread is not None:
+                self._thread.join(timeout)
+        self.fleet.shutdown()

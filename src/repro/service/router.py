@@ -1,0 +1,588 @@
+"""Consistent-hash front router for a sharded compile fleet.
+
+One asyncio process that owns the public port of a fleet of
+:class:`~repro.service.server.CompileService` worker shards
+(:mod:`repro.service.fleet` spawns them).  Submissions are validated
+with the *same* :func:`~repro.service.server.parse_submission` the
+workers use, keyed with the same
+:func:`~repro.exec.hashing.point_key`, and routed over a consistent
+hash ring — so identical submissions always land on the same shard,
+which preserves the per-worker coalescing ("exactly one execution")
+and keeps each shard's hot/disk cache tiers maximally local.
+
+Routing mechanics:
+
+* **Hash ring** — :class:`HashRing` places ``replicas`` virtual nodes
+  per shard on a sha256 ring; a point key routes to the first virtual
+  node clockwise.  Removing a shard only remaps the keys it owned
+  (≈ 1/N of the space), so a shard loss degrades cache locality for
+  its slice only — the survivors' hot tiers are untouched.
+* **Shard loss** — a connection failure marks the shard dead, drops it
+  from the ring, and re-routes the request to the next owner; the
+  request is retried across survivors until none remain (then 503).
+* **Graduated load-shedding** — when a worker answers 429 for a
+  ``full`` submission the router does not give up: it retries the same
+  shard with ``mode: "cache_only"`` (a stale-ok answer from the
+  hot/disk tiers costs no execution slot), and on a cache miss retries
+  with ``mode: "lint_only"`` (a degraded static analysis from the
+  worker's side thread).  Only when the whole ladder is exhausted does
+  the client see the original ``429`` + ``Retry-After``.
+* **Fleet metrics** — ``GET /metrics`` aggregates every shard's
+  ``/metrics`` into one document: counters summed, p50/p99 latency
+  histograms merged bucket-wise
+  (:meth:`~repro.perf.LatencyHistogram.merge`), cache/hot-tier stats
+  summed, per-shard snapshots preserved under ``shards``.
+
+The proxy path forwards the *original* request body bytes
+(:class:`~repro.service.protocol.RawJSON`) and relays the worker's
+response body verbatim, so a fleet answer is byte-identical to the
+single-process answer for the same submission.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import bisect
+import hashlib
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..exec.hashing import code_version, point_key
+from ..perf import LatencyHistogram
+from .protocol import (
+    MAX_HEAD_BYTES,
+    HTTPRequest,
+    HTTPResponse,
+    ProtocolError,
+    RawJSON,
+    read_request,
+    read_response,
+    render_request,
+    render_response,
+)
+from .server import ServiceMetrics, parse_submission
+
+__all__ = ["HashRing", "RouterConfig", "FleetRouter"]
+
+
+class HashRing:
+    """Consistent hash ring over named shards (sha256 virtual nodes).
+
+    Each shard contributes ``replicas`` virtual nodes at
+    ``sha256(f"{shard}#{i}")`` positions; a key routes to the first
+    virtual node at or clockwise of ``sha256(key)``.  Lookups are a
+    binary search; add/remove rebuild the (small) sorted point list.
+
+    Example:
+        >>> ring = HashRing(["shard-0", "shard-1"])
+        >>> ring.route("a" * 64) in ("shard-0", "shard-1")
+        True
+        >>> ring.route("a" * 64) == ring.route("a" * 64)  # deterministic
+        True
+    """
+
+    def __init__(self, shards: Sequence[str] = (), replicas: int = 64):
+        if replicas < 1:
+            raise ValueError(f"replicas must be >= 1, got {replicas}")
+        self.replicas = replicas
+        self._shards: List[str] = []
+        self._points: List[int] = []
+        self._owners: List[str] = []
+        for shard in shards:
+            self.add(shard)
+
+    @staticmethod
+    def _position(label: str) -> int:
+        return int.from_bytes(
+            hashlib.sha256(label.encode("utf-8")).digest()[:8], "big"
+        )
+
+    @property
+    def shards(self) -> Tuple[str, ...]:
+        """The live shard names, in insertion order."""
+        return tuple(self._shards)
+
+    def __len__(self) -> int:
+        return len(self._shards)
+
+    def _rebuild(self) -> None:
+        points = []
+        for shard in self._shards:
+            for i in range(self.replicas):
+                points.append((self._position(f"{shard}#{i}"), shard))
+        points.sort()
+        self._points = [p for p, _ in points]
+        self._owners = [s for _, s in points]
+
+    def add(self, shard: str) -> None:
+        """Add ``shard``; no-op if already present."""
+        if shard in self._shards:
+            return
+        self._shards.append(shard)
+        self._rebuild()
+
+    def remove(self, shard: str) -> None:
+        """Remove ``shard``; no-op if absent.
+
+        Only the keys the shard owned remap (to their next-clockwise
+        owner) — every other key's route is unchanged.
+        """
+        if shard not in self._shards:
+            return
+        self._shards.remove(shard)
+        self._rebuild()
+
+    def route(self, key: str) -> str:
+        """The owning shard for ``key``.
+
+        Raises ``LookupError`` when the ring is empty.
+        """
+        if not self._points:
+            raise LookupError("hash ring is empty (no live shards)")
+        position = self._position(key)
+        index = bisect.bisect_left(self._points, position)
+        if index == len(self._points):
+            index = 0  # wrap past the top of the ring
+        return self._owners[index]
+
+
+@dataclass(frozen=True)
+class RouterConfig:
+    """Tunables of one :class:`FleetRouter` instance.
+
+    Attributes:
+        host: listen address.
+        port: listen port (``0`` = ephemeral; bound port published as
+            ``FleetRouter.port``).
+        replicas: virtual nodes per shard on the hash ring.
+        forward_timeout: seconds to wait for a worker connection +
+            response before declaring the shard dead (``None`` = no
+            limit — workers own the request deadline).
+        shed: enable the graduated load-shedding ladder (429 →
+            cache_only → lint_only → 429).
+        retry_after: ``Retry-After`` hint (seconds) for requests the
+            router itself must reject.
+        allow_fault_kinds: accept underscore-prefixed fault-injection
+            kinds at the routing layer (must mirror the workers'
+            setting, or routing rejects what a worker would accept).
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 8355
+    replicas: int = 64
+    forward_timeout: Optional[float] = None
+    shed: bool = True
+    retry_after: float = 1.0
+    allow_fault_kinds: bool = False
+
+
+class FleetRouter:
+    """The front process of a sharded compile fleet.
+
+    Owns the public port; proxies ``/v1/compile`` and ``/v1/sweep`` to
+    worker shards by consistent hash of the submission's point key, and
+    aggregates ``/healthz`` + ``/metrics`` fleet-wide.
+
+    ``shards`` maps shard name → ``(host, port)``.  The router does not
+    spawn workers — :class:`~repro.service.fleet.CompileFleet` does —
+    so it can also front externally managed processes.
+    """
+
+    def __init__(
+        self,
+        shards: Dict[str, Tuple[str, int]],
+        config: Optional[RouterConfig] = None,
+    ):
+        if not shards:
+            raise ValueError("a fleet needs at least one shard")
+        self.config = config or RouterConfig()
+        self.shards = dict(shards)
+        self.ring = HashRing(list(shards), replicas=self.config.replicas)
+        self.dead: Dict[str, str] = {}  # name -> reason
+        self.metrics = ServiceMetrics()
+        self.metrics.counters.update(
+            {
+                "routed": 0,
+                "shard_errors": 0,
+                "shed_cache_only": 0,
+                "shed_lint_only": 0,
+                "shed_exhausted": 0,
+                "rejected_no_shards": 0,
+            }
+        )
+        self.port: Optional[int] = None
+        self._draining = False
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._code: Optional[str] = None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Bind the public listener."""
+        self._code = code_version()
+        self._server = await asyncio.start_server(
+            self._handle_conn,
+            host=self.config.host,
+            port=self.config.port,
+            limit=MAX_HEAD_BYTES + 4096,
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def drain(self) -> None:
+        """Stop accepting; the fleet supervisor drains the workers."""
+        self._draining = True
+        await asyncio.sleep(0.05)
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+
+    @property
+    def draining(self) -> bool:
+        """True once :meth:`drain` has begun."""
+        return self._draining
+
+    def mark_dead(self, shard: str, reason: str) -> None:
+        """Drop ``shard`` from the ring; its keys remap to survivors."""
+        if shard in self.dead:
+            return
+        self.dead[shard] = reason
+        self.ring.remove(shard)
+        self.metrics.bump("shard_errors")
+
+    # ------------------------------------------------------------------
+    # HTTP plumbing (mirrors CompileService._handle_conn)
+    # ------------------------------------------------------------------
+    async def _handle_conn(self, reader, writer) -> None:
+        status, payload, extra = 500, {"ok": False, "error": "internal"}, None
+        respond = True
+        try:
+            request = await read_request(reader)
+            if request is None:
+                respond = False
+                return
+            self.metrics.bump("requests")
+            t0 = time.perf_counter()
+            status, payload, extra = await self._dispatch(request)
+            self.metrics.observe_latency("request", time.perf_counter() - t0)
+        except ProtocolError as exc:
+            self.metrics.bump("bad_requests")
+            status, payload, extra = (
+                exc.status,
+                {
+                    "ok": False,
+                    "error": str(exc),
+                    "error_type": "ProtocolError",
+                },
+                None,
+            )
+        except Exception as exc:  # never let a request kill the loop
+            status, payload, extra = (
+                500,
+                {
+                    "ok": False,
+                    "error": str(exc),
+                    "error_type": type(exc).__name__,
+                },
+                None,
+            )
+        finally:
+            try:
+                if respond:
+                    writer.write(render_response(status, payload, extra))
+                    await writer.drain()
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _dispatch(
+        self, request: HTTPRequest
+    ) -> Tuple[int, object, Optional[Dict[str, str]]]:
+        route = (request.method, request.path)
+        if route == ("GET", "/healthz"):
+            return 200, await self._health_payload(), None
+        if route == ("GET", "/metrics"):
+            return 200, await self.metrics_payload(), None
+        if route == ("POST", "/v1/compile"):
+            submission = request.json()
+            if not isinstance(submission, dict):
+                raise ProtocolError(400, "submission must be a JSON object")
+            return await self.route_point(submission)
+        if route == ("POST", "/v1/sweep"):
+            document = request.json()
+            points = (
+                document.get("points")
+                if isinstance(document, dict)
+                else None
+            )
+            if not isinstance(points, list) or not points:
+                raise ProtocolError(
+                    400, 'sweep body must be {"points": [submission, ...]}'
+                )
+            rows = await asyncio.gather(
+                *(
+                    self.route_point(p)
+                    if isinstance(p, dict)
+                    else self._bad_submission("submission must be an object")
+                    for p in points
+                )
+            )
+            results = []
+            for status, payload, _ in rows:
+                if isinstance(payload, RawJSON):
+                    payload = json.loads(payload.data)
+                results.append(dict(payload, status=status))
+            return 200, {"results": results}, None
+        if request.path in ("/healthz", "/metrics", "/v1/compile", "/v1/sweep"):
+            raise ProtocolError(405, f"{request.method} not allowed here")
+        raise ProtocolError(404, f"no route for {request.path}")
+
+    async def _bad_submission(self, message: str):
+        return 400, {
+            "ok": False,
+            "error": message,
+            "error_type": "ProtocolError",
+        }, None
+
+    # ------------------------------------------------------------------
+    # routing + shedding
+    # ------------------------------------------------------------------
+    async def route_point(
+        self, submission: Dict[str, object]
+    ) -> Tuple[int, object, Optional[Dict[str, str]]]:
+        """Route one submission to its owning shard; returns the response.
+
+        The submission is validated (and the routing key derived)
+        exactly as a worker would, so a malformed submission is a local
+        ``400`` and a valid one lands on the shard whose caches know
+        it.  Shard failures re-route across survivors; worker
+        backpressure walks the shedding ladder.
+        """
+        self.metrics.bump("submissions")
+        try:
+            point, _, mode = parse_submission(
+                submission,
+                allow_fault_kinds=self.config.allow_fault_kinds,
+            )
+        except Exception as exc:
+            self.metrics.bump("bad_requests")
+            return 400, {
+                "ok": False,
+                "error": str(exc),
+                "error_type": type(exc).__name__,
+            }, None
+        if self._draining:
+            self.metrics.bump("rejected_draining")
+            return 503, {
+                "ok": False,
+                "error": "fleet is draining; resubmit elsewhere",
+                "error_type": "ServiceDraining",
+            }, None
+        key = point_key(point, code=self._code)
+
+        body = RawJSON(
+            json.dumps(submission, sort_keys=True).encode("utf-8")
+        )
+        while True:
+            try:
+                shard = self.ring.route(key)
+            except LookupError:
+                self.metrics.bump("rejected_no_shards")
+                return 503, {
+                    "ok": False,
+                    "error": "no live shards",
+                    "error_type": "ServiceUnavailable",
+                }, None
+            try:
+                response = await self._forward(shard, body)
+            except (ConnectionError, OSError, asyncio.TimeoutError) as exc:
+                # Shard loss: drop it from the ring and re-route. Only
+                # the keys it owned remap — survivors' caches are
+                # untouched.
+                self.mark_dead(shard, f"{type(exc).__name__}: {exc}")
+                continue
+            self.metrics.bump("routed")
+            self.metrics.bump(f"routed_{shard}")
+            if (
+                response.status == 429
+                and mode == "full"
+                and self.config.shed
+            ):
+                return await self._shed(shard, submission, response)
+            return self._relay(response)
+
+    async def _forward(
+        self, shard: str, body: RawJSON, path: str = "/v1/compile"
+    ) -> HTTPResponse:
+        """One request/response exchange with a worker shard."""
+        host, port = self.shards[shard]
+        exchange = self._exchange(host, port, "POST", path, body)
+        if self.config.forward_timeout is not None:
+            return await asyncio.wait_for(
+                exchange, self.config.forward_timeout
+            )
+        return await exchange
+
+    async def _exchange(
+        self, host: str, port: int, method: str, path: str, payload
+    ) -> HTTPResponse:
+        reader, writer = await asyncio.open_connection(
+            host, port, limit=MAX_HEAD_BYTES + 4096
+        )
+        try:
+            writer.write(render_request(method, path, payload, host=host))
+            await writer.drain()
+            return await read_response(reader)
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _shed(
+        self,
+        shard: str,
+        submission: Dict[str, object],
+        rejection: HTTPResponse,
+    ) -> Tuple[int, object, Optional[Dict[str, str]]]:
+        """Walk the degradation ladder after a worker 429.
+
+        ``full`` got backpressured; try ``cache_only`` (stale-ok answer
+        from the shard's hot/disk tiers — no execution slot needed),
+        then ``lint_only`` (static analysis from the worker's side
+        thread).  Each rung that fails falls through; when the ladder
+        is exhausted the client gets the *original* 429, Retry-After
+        intact, so a well-behaved client backs off exactly as if the
+        router weren't there.
+        """
+        for mode, counter in (
+            ("cache_only", "shed_cache_only"),
+            ("lint_only", "shed_lint_only"),
+        ):
+            degraded = RawJSON(
+                json.dumps(
+                    dict(submission, mode=mode), sort_keys=True
+                ).encode("utf-8")
+            )
+            try:
+                response = await self._forward(shard, degraded)
+            except (ConnectionError, OSError, asyncio.TimeoutError):
+                break  # shard died mid-ladder; the 429 still stands
+            if response.status == 200:
+                self.metrics.bump(counter)
+                return self._relay(response)
+        self.metrics.bump("shed_exhausted")
+        return self._relay(rejection)
+
+    def _relay(
+        self, response: HTTPResponse
+    ) -> Tuple[int, object, Optional[Dict[str, str]]]:
+        """Pass a worker response through byte-for-byte."""
+        extra = None
+        if "retry-after" in response.headers:
+            extra = {"Retry-After": response.headers["retry-after"]}
+        body = response.body
+        if body.endswith(b"\n"):
+            body = body[:-1]  # render_response re-adds the newline
+        return response.status, RawJSON(body), extra
+
+    # ------------------------------------------------------------------
+    # aggregation
+    # ------------------------------------------------------------------
+    async def _poll_shards(self, path: str) -> Dict[str, object]:
+        """Fetch ``path`` from every live shard concurrently."""
+
+        async def fetch(name: str):
+            host, port = self.shards[name]
+            try:
+                response = await asyncio.wait_for(
+                    self._exchange(host, port, "GET", path, None),
+                    self.config.forward_timeout or 10.0,
+                )
+                return name, response.json()
+            except Exception as exc:
+                return name, {"ok": False, "error": str(exc)}
+
+        live = self.ring.shards
+        results = await asyncio.gather(*(fetch(name) for name in live))
+        return dict(results)
+
+    async def _health_payload(self) -> Dict[str, object]:
+        shard_health = await self._poll_shards("/healthz")
+        return {
+            "ok": any(
+                isinstance(h, dict) and h.get("ok")
+                for h in shard_health.values()
+            ),
+            "draining": self._draining,
+            "shards": shard_health,
+            "live": list(self.ring.shards),
+            "dead": dict(self.dead),
+        }
+
+    async def metrics_payload(self) -> Dict[str, object]:
+        """The fleet-wide ``/metrics`` document.
+
+        Counters are summed across shards, latency histograms merged
+        bucket-wise (fleet-true p50/p99, not an average of averages),
+        disk/hot cache stats summed; each shard's raw snapshot is
+        preserved under ``shards`` for per-shard debugging.
+        """
+        shard_metrics = await self._poll_shards("/metrics")
+        counters: Dict[str, int] = {}
+        latency: Dict[str, LatencyHistogram] = {}
+        cache: Dict[str, float] = {}
+        hot: Dict[str, float] = {}
+        queue_depth = 0
+        for payload in shard_metrics.values():
+            if not isinstance(payload, dict) or "counters" not in payload:
+                continue  # unreachable shard: error stub, nothing to sum
+            for name, value in payload["counters"].items():
+                counters[name] = counters.get(name, 0) + int(value)
+            queue_depth += payload.get("service", {}).get("queue_depth", 0)
+            for name, histogram in (payload.get("latency") or {}).items():
+                try:
+                    latency.setdefault(
+                        name, LatencyHistogram()
+                    ).merge(histogram)
+                except (ValueError, KeyError, TypeError):
+                    pass  # geometry drift across versions: skip, don't 500
+            for target, source in ((cache, "cache"), (hot, "hot_cache")):
+                stats = payload.get(source)
+                if isinstance(stats, dict):
+                    for name, value in stats.items():
+                        if isinstance(value, (int, float)):
+                            target[name] = target.get(name, 0) + value
+        for tier in (cache, hot):
+            lookups = tier.get("hits", 0) + tier.get("misses", 0)
+            if "hit_rate" in tier:
+                tier["hit_rate"] = (
+                    tier.get("hits", 0) / lookups if lookups else 0.0
+                )
+        router_snapshot = self.metrics.as_dict()
+        return {
+            "router": {
+                "draining": self._draining,
+                "live_shards": list(self.ring.shards),
+                "dead_shards": dict(self.dead),
+                "counters": router_snapshot["counters"],
+                "latency": router_snapshot["latency"],
+            },
+            "fleet": {
+                "shards": len(self.shards),
+                "live": len(self.ring),
+                "queue_depth": queue_depth,
+                "counters": counters,
+                "latency": {
+                    name: histogram.as_dict()
+                    for name, histogram in latency.items()
+                },
+                "cache": cache or None,
+                "hot_cache": hot or None,
+            },
+            "shards": shard_metrics,
+        }

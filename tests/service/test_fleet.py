@@ -1,0 +1,394 @@
+"""End-to-end tests for the sharded compile fleet.
+
+Covers the ISSUE's fleet behaviors with real processes on the wire:
+consistent-hash routing determinism (same submission → same shard,
+byte-identical payloads at 1 vs 4 shards), hot-tier serving, shard
+loss (kill a worker; only its keys remap), the router's graduated
+load-shedding ladder, and the client's ``Retry-After``-honoring busy
+retries.  The :class:`HashRing` itself is unit-tested up front — its
+determinism is what the rest rides on.
+"""
+
+from __future__ import annotations
+
+import json
+import signal
+import threading
+import time
+
+import pytest
+
+from repro.circuits.library import load_circuit
+from repro.config import MercedConfig
+from repro.core.merced import Merced
+from repro.errors import ServiceRejectedError
+from repro.exec.hashing import point_key
+from repro.exec.task import merced_payload
+from repro.service.server import parse_submission
+from repro.service import (
+    FleetThread,
+    HashRing,
+    RouterConfig,
+    ServiceClient,
+    ServiceConfig,
+    ServiceThread,
+)
+
+
+# ----------------------------------------------------------------------
+# hash ring
+# ----------------------------------------------------------------------
+def test_ring_routing_is_deterministic():
+    keys = [f"{i:03d}" * 21 for i in range(200)]
+    a = HashRing(["shard-0", "shard-1", "shard-2"])
+    b = HashRing(["shard-0", "shard-1", "shard-2"])
+    assert [a.route(k) for k in keys] == [b.route(k) for k in keys]
+
+
+def test_ring_spreads_keys_across_all_shards():
+    ring = HashRing([f"shard-{i}" for i in range(4)])
+    owners = {ring.route(f"{i:03d}" * 21) for i in range(500)}
+    assert owners == {f"shard-{i}" for i in range(4)}
+
+
+def test_ring_removal_only_remaps_the_lost_shards_keys():
+    shards = [f"shard-{i}" for i in range(4)]
+    keys = [f"{i:03d}" * 21 for i in range(500)]
+    ring = HashRing(shards)
+    before = {k: ring.route(k) for k in keys}
+    ring.remove("shard-2")
+    for key, owner in before.items():
+        if owner == "shard-2":
+            assert ring.route(key) != "shard-2"
+        else:
+            # survivors' keys stay put — their hot tiers remain warm
+            assert ring.route(key) == owner
+
+
+def test_ring_add_back_restores_routes():
+    keys = [f"{i:03d}" * 21 for i in range(200)]
+    ring = HashRing(["shard-0", "shard-1"])
+    before = {k: ring.route(k) for k in keys}
+    ring.remove("shard-1")
+    ring.add("shard-1")
+    assert {k: ring.route(k) for k in keys} == before
+
+
+def test_empty_ring_raises():
+    ring = HashRing(["only"])
+    ring.remove("only")
+    with pytest.raises(LookupError):
+        ring.route("a" * 64)
+
+
+# ----------------------------------------------------------------------
+# fleet end-to-end
+# ----------------------------------------------------------------------
+@pytest.fixture
+def boot_fleet(tmp_path):
+    """Factory fixture: start a fleet, hand back (handle, client)."""
+    handles = []
+
+    def _boot(shards=2, router=None, **overrides):
+        settings = dict(
+            host="127.0.0.1",
+            port=0,
+            workers=1,
+            queue_capacity=8,
+            timeout=60.0,
+            cache_dir=str(tmp_path / f"fleet{len(handles)}"),
+            hot_entries=64,
+        )
+        settings.update(overrides)
+        handle = FleetThread(
+            shards=shards,
+            config=ServiceConfig(**settings),
+            router_config=router or RouterConfig(port=0),
+        ).start()
+        handles.append(handle)
+        client = ServiceClient(port=handle.port, timeout=60.0)
+        return handle, client
+
+    yield _boot
+    for handle in handles:
+        handle.stop()
+
+
+def test_fleet_health_and_metrics_aggregation(boot_fleet):
+    _, client = boot_fleet(shards=2)
+    health = client.wait_ready()
+    assert health["ok"] is True
+    assert sorted(health["live"]) == ["shard-0", "shard-1"]
+    assert health["dead"] == {}
+
+    row = client.compile_point(circuit="s27", lk=3, seed=7)
+    assert row["ok"] is True
+    metrics = client.metrics()
+    assert metrics["fleet"]["live"] == 2
+    assert metrics["fleet"]["counters"]["executed"] == 1
+    assert metrics["router"]["counters"]["routed"] == 1
+    assert set(metrics["shards"]) == {"shard-0", "shard-1"}
+    # fleet-wide latency is a bucket-merge of the shard histograms
+    assert metrics["fleet"]["latency"]["request"]["count"] >= 1
+    assert metrics["fleet"]["latency"]["request"]["p99_seconds"] > 0
+
+
+def test_identical_submissions_route_to_one_shard(boot_fleet):
+    """Consistent hashing must keep duplicates on one shard — that is
+    what preserves coalescing and hot-tier locality fleet-wide."""
+    _, client = boot_fleet(shards=2)
+    rows = [
+        client.compile_point(circuit="s27", lk=3, seed=7) for _ in range(4)
+    ]
+    assert all(row["ok"] for row in rows)
+    per_shard = client.metrics()["shards"]
+    executed = [
+        per_shard[name]["counters"]["executed"] for name in sorted(per_shard)
+    ]
+    # exactly one shard compiled it, exactly once; repeats were served
+    # from that shard's hot tier
+    assert sorted(executed) == [0, 1]
+    hot_hits = sum(
+        per_shard[name]["counters"]["hot_hits"] for name in per_shard
+    )
+    assert hot_hits == 3
+    assert rows[1]["hot"] is True
+    values = {json.dumps(r["value"], sort_keys=True) for r in rows}
+    assert len(values) == 1
+
+
+def test_payloads_byte_identical_across_shard_counts(boot_fleet):
+    """ISSUE acceptance: --shards 1 and --shards 4 answer byte-identical
+    payloads, both equal to the inline pipeline."""
+    _, one = boot_fleet(shards=1)
+    _, four = boot_fleet(shards=4)
+    cases = [
+        dict(circuit="s27", lk=3, seed=7),
+        dict(circuit="s27", lk=5, seed=7),
+        dict(circuit="s510", lk=8, seed=3),
+    ]
+    for case in cases:
+        row_one = one.compile_point(**case)
+        row_four = four.compile_point(**case)
+        assert row_one["ok"] and row_four["ok"]
+        blob_one = json.dumps(row_one["value"], sort_keys=True)
+        blob_four = json.dumps(row_four["value"], sort_keys=True)
+        assert blob_one == blob_four
+        inline = merced_payload(
+            Merced(
+                MercedConfig(lk=case["lk"], seed=case["seed"])
+            ).run(load_circuit(case["circuit"]))
+        )
+        assert blob_one == json.dumps(inline, sort_keys=True)
+
+
+def test_hot_hit_response_bytes_match_first_cached_response(boot_fleet):
+    """The hot tier's spliced bytes must decode to the same value the
+    disk/coalesced paths serve."""
+    _, client = boot_fleet(shards=2)
+    first = client.compile_point(circuit="s27", lk=4)
+    hot = client.compile_point(circuit="s27", lk=4)
+    assert hot["hot"] is True and hot["cache_hit"] is True
+    assert json.dumps(hot["value"], sort_keys=True) == json.dumps(
+        first["value"], sort_keys=True
+    )
+
+
+def test_shard_loss_reroutes_to_survivors(boot_fleet):
+    handle, client = boot_fleet(shards=2)
+
+    # Pick cases the router provably routes to *each* shard, using its
+    # own ring — so the kill is guaranteed to orphan at least one key.
+    ring = handle.router.ring
+    by_owner = {}
+    for lk in range(3, 15):
+        case = dict(circuit="s27", lk=lk, seed=9)
+        point, _, _ = parse_submission(case)
+        by_owner.setdefault(ring.route(point_key(point)), case)
+        if len(by_owner) == 2:
+            break
+    assert set(by_owner) == {"shard-0", "shard-1"}
+    cases = [by_owner["shard-0"], by_owner["shard-1"]]
+
+    warm = [client.compile_point(**case) for case in cases]
+    assert all(r["ok"] for r in warm)
+
+    handle.stop_worker("shard-0", signal.SIGKILL)
+    deadline = time.monotonic() + 10.0
+    while time.monotonic() < deadline:
+        if not handle.fleet.workers["shard-0"].is_alive():
+            break
+        time.sleep(0.05)
+
+    # every key — including the one shard-0 owned — must still be served
+    rows = [client.compile_point(**case) for case in cases]
+    assert all(r["ok"] for r in rows)
+    for before, after in zip(warm, rows):
+        assert json.dumps(after["value"], sort_keys=True) == json.dumps(
+            before["value"], sort_keys=True
+        )
+    health = client.wait_ready()
+    assert health["live"] == ["shard-1"]
+    assert "shard-0" in health["dead"]
+    assert client.metrics()["router"]["counters"]["shard_errors"] >= 1
+
+
+def test_router_sheds_to_cached_answer_under_backpressure(boot_fleet):
+    """429 from a saturated worker degrades to a stale-ok cache answer
+    (hot tier off so the disk rung is what serves it)."""
+    _, client = boot_fleet(
+        shards=1,
+        workers=1,
+        queue_capacity=1,
+        hot_entries=0,
+        allow_fault_kinds=True,
+        router=RouterConfig(port=0, allow_fault_kinds=True),
+    )
+    primed = client.compile_point(circuit="s27", lk=3, seed=7)
+    assert primed["ok"] is True
+
+    blocker = threading.Thread(
+        target=lambda: client.compile_point(
+            kind="_spin", params={"seconds": 1.5}
+        )
+    )
+    blocker.start()
+    time.sleep(0.3)  # the spin owns the only slot + the only queue seat
+    try:
+        row = client.compile_point(circuit="s27", lk=3, seed=7)
+    finally:
+        blocker.join(30.0)
+    assert not blocker.is_alive()
+    assert row["ok"] is True and row["cache_hit"] is True
+    assert json.dumps(row["value"], sort_keys=True) == json.dumps(
+        primed["value"], sort_keys=True
+    )
+    assert client.metrics()["router"]["counters"]["shed_cache_only"] == 1
+
+
+def test_router_sheds_to_lint_answer_on_cold_backpressure(boot_fleet):
+    """A cold key under saturation falls through cache_only to the
+    lint-only rung: a degraded analysis row, not a 429."""
+    _, client = boot_fleet(
+        shards=1,
+        workers=1,
+        queue_capacity=1,
+        hot_entries=0,
+        allow_fault_kinds=True,
+        router=RouterConfig(port=0, allow_fault_kinds=True),
+    )
+    blocker = threading.Thread(
+        target=lambda: client.compile_point(
+            kind="_spin", params={"seconds": 1.5}
+        )
+    )
+    blocker.start()
+    time.sleep(0.3)
+    try:
+        row = client.compile_point(circuit="s27", lk=3, seed=11)
+    finally:
+        blocker.join(30.0)
+    assert not blocker.is_alive()
+    assert row["ok"] is False
+    assert row["degraded"] == "lint_only"
+    assert row["error_type"] == "DegradedAnswer"
+    assert "summary" in row["lint"]
+    counters = client.metrics()["router"]["counters"]
+    assert counters["shed_lint_only"] == 1
+
+
+def test_shedding_disabled_passes_429_through(boot_fleet):
+    _, client = boot_fleet(
+        shards=1,
+        workers=1,
+        queue_capacity=1,
+        allow_fault_kinds=True,
+        router=RouterConfig(port=0, shed=False, allow_fault_kinds=True),
+    )
+    client.retry_on_busy = False
+    blocker = threading.Thread(
+        target=lambda: client.compile_point(
+            kind="_spin", params={"seconds": 1.0}
+        )
+    )
+    blocker.start()
+    time.sleep(0.3)
+    try:
+        with pytest.raises(ServiceRejectedError) as err:
+            client.compile_point(circuit="s27", lk=3, seed=13)
+    finally:
+        blocker.join(30.0)
+    assert err.value.status == 429
+    assert err.value.payload["error_type"] == "ServiceOverloaded"
+
+
+# ----------------------------------------------------------------------
+# client busy-retry (single service is enough; the loop is client-side)
+# ----------------------------------------------------------------------
+@pytest.fixture
+def boot_service(tmp_path):
+    handles = []
+
+    def _boot(**overrides):
+        settings = dict(
+            host="127.0.0.1",
+            port=0,
+            workers=1,
+            queue_capacity=1,
+            timeout=60.0,
+            cache_dir=str(tmp_path / f"svc{len(handles)}"),
+            retry_after=0.2,
+            hot_entries=0,
+            allow_fault_kinds=True,
+        )
+        settings.update(overrides)
+        handle = ServiceThread(ServiceConfig(**settings)).start()
+        handles.append(handle)
+        return handle
+
+    yield _boot
+    for handle in handles:
+        handle.stop()
+
+
+def test_client_retries_busy_until_capacity_frees(boot_service):
+    handle = boot_service()
+    client = ServiceClient(port=handle.port, timeout=60.0, retries=6)
+    blocker = threading.Thread(
+        target=lambda: client.compile_point(
+            kind="_spin", params={"seconds": 1.2}
+        )
+    )
+    blocker.start()
+    time.sleep(0.3)
+    # fails hard without retries; with them, the Retry-After backoff
+    # outlives the spin and the point lands
+    row = client.compile_point(circuit="s27", lk=3, seed=7)
+    blocker.join(30.0)
+    assert not blocker.is_alive()
+    assert row["ok"] is True
+    counters = handle.service.metrics.as_dict()["counters"]
+    assert counters["rejected_backpressure"] >= 1
+
+
+def test_client_opt_out_fails_fast(boot_service):
+    handle = boot_service()
+    client = ServiceClient(
+        port=handle.port, timeout=60.0, retry_on_busy=False
+    )
+    blocker = threading.Thread(
+        target=lambda: client.compile_point(
+            kind="_spin", params={"seconds": 1.0}
+        )
+    )
+    blocker.start()
+    time.sleep(0.3)
+    try:
+        with pytest.raises(ServiceRejectedError) as err:
+            client.compile_point(circuit="s27", lk=3, seed=7)
+    finally:
+        blocker.join(30.0)
+    assert err.value.status == 429
+    # one rejection on the wire, zero retries behind it
+    counters = handle.service.metrics.as_dict()["counters"]
+    assert counters["rejected_backpressure"] == 1

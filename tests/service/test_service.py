@@ -48,7 +48,12 @@ def boot(tmp_path):
         settings.update(overrides)
         handle = ServiceThread(ServiceConfig(**settings)).start()
         handles.append(handle)
-        client = ServiceClient(port=handle.port, timeout=60.0)
+        # retry_on_busy off: this suite asserts raw 429 semantics
+        # (immediacy, counters); the retry loop is covered in
+        # tests/service/test_fleet.py.
+        client = ServiceClient(
+            port=handle.port, timeout=60.0, retry_on_busy=False
+        )
         return handle, client
 
     yield _boot
@@ -133,9 +138,9 @@ def test_tcp_probe_disconnect_gets_no_spurious_error(boot):
 
 def test_unknown_route_and_bad_method(boot):
     _, client = boot()
-    status, document = client._request("GET", "/nope")
+    status, document, _ = client._request("GET", "/nope")
     assert status == 404 and document["ok"] is False
-    status, document = client._request("DELETE", "/metrics")
+    status, document, _ = client._request("DELETE", "/metrics")
     assert status == 405
 
 
