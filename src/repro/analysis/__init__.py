@@ -12,7 +12,12 @@ JSON renderers, severity thresholds, per-rule suppression):
 * the **kernel linter** (:func:`lint_paths`,
   ``scripts/lint_kernels.py``) walks the source tree's ASTs and
   enforces the determinism/pairing invariants the compiled kernels
-  rely on (``KRN001``–``KRN004``).
+  rely on (``KRN001``–``KRN004``);
+* the **concurrency analyzer** (:func:`analyze_paths`,
+  ``merced lint-code``) builds per-function CFGs, lock dataflow and
+  call-graph blocking summaries over the same parses and checks the
+  async/thread/signal hazard rules (``CONC001``–``CONC006``) behind a
+  committed-baseline CI gate.
 """
 
 from .diagnostics import (
@@ -21,6 +26,12 @@ from .diagnostics import (
     DiagnosticReport,
     merge_reports,
     severity_at_least,
+)
+from .concurrency import (
+    CONC_RULES,
+    analyze_paths,
+    lint_code_main,
+    run_concurrency_rules,
 )
 from .kernel_lint import (
     HOT_DIRS,
@@ -62,4 +73,8 @@ __all__ = [
     "kernel_lint_main",
     "lint_paths",
     "lint_source",
+    "CONC_RULES",
+    "analyze_paths",
+    "run_concurrency_rules",
+    "lint_code_main",
 ]

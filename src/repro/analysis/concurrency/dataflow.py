@@ -1,0 +1,88 @@
+"""Forward dataflow solvers over the statement-level CFG.
+
+Two analyses drive the CONC rules:
+
+* :func:`locks_held` — a *must* analysis (meet = intersection): the set
+  of locks provably held when each node executes.  Seeded by the
+  ``acquires``/``releases`` annotations the CFG builder attaches to
+  ``with``-enter/exit nodes and explicit ``.acquire()``/``.release()``
+  statements.  CONC002 uses it for "is this shared-attribute access
+  dominated by the class lock", CONC003 for "which locks were held when
+  this one was acquired".
+* :func:`forward_dataflow` — the generic worklist engine, also used
+  directly by CONC004's *may* analysis ("a coroutine object may reach
+  the exit un-awaited"; meet = union).
+
+Facts are ``frozenset`` values; transfer functions are pure.  The
+worklist iterates to a fixpoint, which terminates because both fact
+lattices here are finite (locks / pending variables mentioned in the
+function).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, FrozenSet, Tuple
+
+from .cfg import CFG, CFGNode
+
+__all__ = ["forward_dataflow", "locks_held"]
+
+#: A transfer function maps (node, in-fact) to the node's out-fact.
+Transfer = Callable[[CFGNode, FrozenSet], FrozenSet]
+
+#: A join merges two facts arriving at a node (meet of the lattice).
+Join = Callable[[FrozenSet, FrozenSet], FrozenSet]
+
+_MISSING = object()
+
+
+def forward_dataflow(
+    cfg: CFG,
+    init: FrozenSet,
+    transfer: Transfer,
+    join: Join,
+) -> Tuple[Dict[int, FrozenSet], Dict[int, FrozenSet]]:
+    """Solve a forward dataflow problem; returns ``(in_facts, out_facts)``.
+
+    ``init`` is the fact at the entry node.  Unreached nodes are absent
+    from the returned maps (treat as "no information").
+    """
+    in_facts: Dict[int, FrozenSet] = {cfg.entry: init}
+    out_facts: Dict[int, FrozenSet] = {}
+    worklist = [cfg.entry]
+    while worklist:
+        index = worklist.pop()
+        node = cfg.nodes[index]
+        out = transfer(node, in_facts[index])
+        out_facts[index] = out
+        for succ in node.succs:
+            prev = in_facts.get(succ, _MISSING)
+            merged = out if prev is _MISSING else join(prev, out)
+            if prev is _MISSING or merged != prev:
+                in_facts[succ] = merged
+                worklist.append(succ)
+    return in_facts, out_facts
+
+
+def locks_held(cfg: CFG) -> Dict[int, FrozenSet[str]]:
+    """Locks provably held *when each node executes* (must analysis).
+
+    Returns node index → frozenset of lock names (the CFG's syntactic
+    identities, e.g. ``"self._lock"``).  A node inside
+    ``with self._lock:`` maps to a set containing ``"self._lock"``;
+    the ``with`` header node itself does not (the lock is taken *by*
+    it, not before it).
+    """
+
+    def transfer(node: CFGNode, fact: FrozenSet[str]) -> FrozenSet[str]:
+        if node.releases:
+            fact = fact - frozenset(node.releases)
+        if node.acquires:
+            fact = fact | frozenset(node.acquires)
+        return fact
+
+    def join(a: FrozenSet[str], b: FrozenSet[str]) -> FrozenSet[str]:
+        return a & b  # must: held only if held on every path
+
+    in_facts, _ = forward_dataflow(cfg, frozenset(), transfer, join)
+    return in_facts

@@ -1,0 +1,633 @@
+"""Module indexing and call-graph blocking-ness summaries.
+
+The CONC rules need three things a single-function walk cannot give:
+
+* **Function inventory** — every ``def``/``async def`` in the analyzed
+  file set, including class methods and nested functions, each with its
+  own scope (:class:`FunctionInfo`).
+* **Name resolution** — enough import/alias/attribute tracking to turn
+  a call site into either a *dotted external name* (``time.sleep``,
+  ``multiprocessing.get_context``) or a set of *analyzed targets*
+  (``self.cache.flush`` → ``ResultCache.flush`` via the
+  ``self.cache = ResultCache(...)`` binding in ``__init__``).
+* **Blocking-ness propagation** — a module-level fixpoint over the
+  resolved call graph: a function is *blocking* if it directly calls a
+  known blocking root (:data:`BLOCKING_CALLS`, :data:`BLOCKING_ATTRS`)
+  or any resolved callee is blocking.  Each blocking function carries a
+  human-readable reason chain
+  (``ResultCache.flush → .unlink() [blocking file I/O]``) that CONC001
+  findings surface verbatim.
+
+Resolution is deliberately *under*-approximate: an unresolvable call
+contributes nothing, so the analyzer errs toward silence rather than
+noise.  The one over-approximation is :data:`BLOCKING_ATTRS` — method
+names (``.result``, ``.unlink``, ``.read_text`` ...) that on *any*
+plausible receiver (``Future``, ``Path``, file objects) mean blocking
+I/O; receivers the index can resolve to an analyzed class are exempted
+from it and go through their real summary instead.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from .cfg import CFG, build_cfg, expr_name, scope_nodes
+from .dataflow import locks_held
+
+__all__ = [
+    "BLOCKING_CALLS",
+    "BLOCKING_ATTRS",
+    "FunctionInfo",
+    "ClassInfo",
+    "ModuleIndex",
+    "ProjectIndex",
+    "module_name_for",
+]
+
+#: Dotted call roots that block the calling thread (never safe on an
+#: event loop).  Values are the reason text surfaced in findings.
+BLOCKING_CALLS: Dict[str, str] = {
+    "time.sleep": "time.sleep() blocks the thread",
+    "open": "open() is blocking file I/O",
+    "input": "input() blocks on stdin",
+    "subprocess.run": "subprocess.run() blocks until the child exits",
+    "subprocess.call": "subprocess.call() blocks until the child exits",
+    "subprocess.check_call": "subprocess.check_call() blocks",
+    "subprocess.check_output": "subprocess.check_output() blocks",
+    "subprocess.getoutput": "subprocess.getoutput() blocks",
+    "subprocess.Popen": "subprocess.Popen() forks/execs synchronously",
+    "os.system": "os.system() blocks until the command exits",
+    "os.replace": "os.replace() is blocking file I/O",
+    "os.rename": "os.rename() is blocking file I/O",
+    "os.unlink": "os.unlink() is blocking file I/O",
+    "os.remove": "os.remove() is blocking file I/O",
+    "os.stat": "os.stat() is blocking file I/O",
+    "os.listdir": "os.listdir() is blocking file I/O",
+    "os.scandir": "os.scandir() is blocking file I/O",
+    "os.walk": "os.walk() is blocking file I/O",
+    "os.makedirs": "os.makedirs() is blocking file I/O",
+    "os.mkdir": "os.mkdir() is blocking file I/O",
+    "os.rmdir": "os.rmdir() is blocking file I/O",
+    "os.fdopen": "os.fdopen() opens blocking file I/O",
+    "shutil.copy": "shutil.copy() is blocking file I/O",
+    "shutil.copy2": "shutil.copy2() is blocking file I/O",
+    "shutil.copyfile": "shutil.copyfile() is blocking file I/O",
+    "shutil.copytree": "shutil.copytree() is blocking file I/O",
+    "shutil.move": "shutil.move() is blocking file I/O",
+    "shutil.rmtree": "shutil.rmtree() is blocking file I/O",
+    "socket.create_connection": "socket.create_connection() blocks",
+    "socket.getaddrinfo": "socket.getaddrinfo() does blocking DNS",
+    "socket.gethostbyname": "socket.gethostbyname() does blocking DNS",
+    "urllib.request.urlopen": "urlopen() is blocking network I/O",
+    "tempfile.mkstemp": "tempfile.mkstemp() is blocking file I/O",
+    "tempfile.mkdtemp": "tempfile.mkdtemp() is blocking file I/O",
+    "tempfile.NamedTemporaryFile": "NamedTemporaryFile() opens blocking "
+    "file I/O",
+    "tempfile.TemporaryDirectory": "TemporaryDirectory() is blocking "
+    "file I/O",
+}
+
+#: Method names that mean blocking I/O on any plausible receiver —
+#: ``Future.result``, ``Path.unlink``/``.glob``/``.stat``/``.mkdir``,
+#: text/bytes file helpers.  Applied only when the receiver does NOT
+#: resolve to an analyzed class (those use their real summary).
+BLOCKING_ATTRS: Dict[str, str] = {
+    "result": ".result() blocks on a Future",
+    "read_text": ".read_text() is blocking file I/O",
+    "write_text": ".write_text() is blocking file I/O",
+    "read_bytes": ".read_bytes() is blocking file I/O",
+    "write_bytes": ".write_bytes() is blocking file I/O",
+    "unlink": ".unlink() is blocking file I/O",
+    "stat": ".stat() is blocking file I/O",
+    "glob": ".glob() is blocking directory I/O",
+    "rglob": ".rglob() is blocking directory I/O",
+    "iterdir": ".iterdir() is blocking directory I/O",
+    "mkdir": ".mkdir() is blocking file I/O",
+    "rmdir": ".rmdir() is blocking file I/O",
+    "touch": ".touch() is blocking file I/O",
+}
+
+
+def module_name_for(path: str) -> str:
+    """Dotted module name of ``path``, found by walking up ``__init__.py``.
+
+    ``src/repro/service/server.py`` → ``repro.service.server``; a file
+    outside any package keeps its bare stem (which is how ad-hoc test
+    fixtures in a flat temp directory resolve each other's imports).
+    """
+    path = os.path.normpath(os.path.abspath(path))
+    directory, filename = os.path.split(path)
+    stem = filename[:-3] if filename.endswith(".py") else filename
+    parts = [] if stem == "__init__" else [stem]
+    while os.path.isfile(os.path.join(directory, "__init__.py")):
+        directory, pkg = os.path.split(directory)
+        parts.insert(0, pkg)
+    return ".".join(parts)
+
+
+@dataclass
+class FunctionInfo:
+    """One analyzed ``def``/``async def`` (module, class, or nested)."""
+
+    qualname: str
+    name: str
+    node: ast.AST
+    is_async: bool
+    module: "ModuleIndex"
+    class_name: Optional[str] = None
+    local_funcs: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def key(self) -> Tuple[str, str]:
+        """Project-wide identity: ``(module path, qualname)``."""
+        return (self.module.path, self.qualname)
+
+    @property
+    def display(self) -> str:
+        """Short human name used in reason chains."""
+        return self.qualname
+
+
+@dataclass
+class ClassInfo:
+    """Per-class facts: methods, lock attrs, self-attribute bindings."""
+
+    name: str
+    node: ast.ClassDef
+    module: "ModuleIndex"
+    methods: Dict[str, str] = field(default_factory=dict)  # name → qualname
+    #: self attrs that hold locks (``_lock`` for ``self._lock = Lock()``
+    #: or any lock-named attribute assigned in the class).
+    lock_attrs: Set[str] = field(default_factory=set)
+    #: ``self.X = ClassName(...)`` bindings (bare class name).
+    self_attr_types: Dict[str, str] = field(default_factory=dict)
+
+
+class _IndexWalker:
+    """Recursive walk of one module building its function/class tables."""
+
+    def __init__(self, index: "ModuleIndex"):
+        self.index = index
+
+    def walk_module(self, tree: ast.Module) -> None:
+        for stmt in tree.body:
+            self._statement(stmt, prefix="", cls=None, parent=None)
+
+    def _statement(
+        self,
+        stmt: ast.stmt,
+        prefix: str,
+        cls: Optional[ClassInfo],
+        parent: Optional[FunctionInfo],
+    ) -> None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            qualname = f"{prefix}{stmt.name}"
+            if qualname in self.index.functions:  # redefinition: keep last
+                qualname = f"{qualname}@{stmt.lineno}"
+            info = FunctionInfo(
+                qualname=qualname,
+                name=stmt.name,
+                node=stmt,
+                is_async=isinstance(stmt, ast.AsyncFunctionDef),
+                module=self.index,
+                class_name=cls.name if cls else None,
+            )
+            self.index.functions[qualname] = info
+            if cls is not None and prefix == f"{cls.name}.":
+                cls.methods[stmt.name] = qualname
+            elif parent is not None:
+                parent.local_funcs[stmt.name] = qualname
+            else:
+                self.index.module_funcs[stmt.name] = qualname
+            for child in stmt.body:
+                self._statement(
+                    child, prefix=f"{qualname}.", cls=None, parent=info
+                )
+            if cls is not None:
+                self._collect_class_facts(cls, stmt)
+            return
+        if isinstance(stmt, ast.ClassDef):
+            info = ClassInfo(name=stmt.name, node=stmt, module=self.index)
+            self.index.classes[stmt.name] = info
+            for child in stmt.body:
+                self._statement(
+                    child, prefix=f"{stmt.name}.", cls=info, parent=None
+                )
+            return
+        # Compound statements may hide defs (e.g. under `if TYPE_CHECKING`).
+        for block in ("body", "orelse", "finalbody"):
+            for child in getattr(stmt, block, ()):
+                self._statement(child, prefix=prefix, cls=cls, parent=parent)
+        for handler in getattr(stmt, "handlers", ()):
+            for child in handler.body:
+                self._statement(child, prefix=prefix, cls=cls, parent=parent)
+
+    def _collect_class_facts(self, cls: ClassInfo, method: ast.AST) -> None:
+        """Harvest ``self.X = ...`` lock and type bindings from a method."""
+        for node in scope_nodes(method):
+            if not isinstance(node, ast.Assign):
+                continue
+            for target in node.targets:
+                if not (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    continue
+                attr = target.attr
+                if _is_lock_ctor(node.value) or (
+                    ("lock" in attr.lower() or "mutex" in attr.lower())
+                ):
+                    if _is_lock_ctor(node.value):
+                        cls.lock_attrs.add(attr)
+                    elif "lock" in attr.lower() or "mutex" in attr.lower():
+                        cls.lock_attrs.add(attr)
+                bound = _class_of_expr(node.value)
+                if bound:
+                    cls.self_attr_types[attr] = bound
+        # Dataclass field annotations: `stats: CacheStats = field(...)`
+        # contribute type bindings too.
+        if method is cls.node:  # pragma: no cover - not reached via walk
+            return
+
+
+def _is_lock_ctor(expr: ast.AST) -> bool:
+    """Is this expression a ``threading.Lock()``-style constructor call?"""
+    if isinstance(expr, ast.IfExp):
+        return _is_lock_ctor(expr.body) or _is_lock_ctor(expr.orelse)
+    if not isinstance(expr, ast.Call):
+        return False
+    name = expr_name(expr.func) or ""
+    leaf = name.rsplit(".", 1)[-1]
+    return leaf in ("Lock", "RLock", "Condition", "Semaphore",
+                    "BoundedSemaphore")
+
+
+def _class_of_expr(expr: ast.AST) -> Optional[str]:
+    """Bare class name when ``expr`` is (conditionally) ``ClassName(...)``.
+
+    Handles the ``X(...) if cond else None`` conditional-binding idiom
+    (``CompileService.__init__`` binds ``self.cache``/``self.hot`` that
+    way).
+    """
+    if isinstance(expr, ast.IfExp):
+        return _class_of_expr(expr.body) or _class_of_expr(expr.orelse)
+    if isinstance(expr, ast.Call):
+        name = expr_name(expr.func)
+        if name:
+            leaf = name.rsplit(".", 1)[-1]
+            if leaf[:1].isupper():
+                return leaf
+    return None
+
+
+class ModuleIndex:
+    """Everything the analyzer knows about one parsed module."""
+
+    def __init__(self, path: str, code: str, tree: ast.Module):
+        self.path = path
+        self.code = code
+        self.tree = tree
+        self.lines = code.splitlines()
+        self.dotted = module_name_for(path)
+        self.package = self.dotted.rsplit(".", 1)[0] if "." in self.dotted else ""
+        #: ``import X [as Y]`` → local name → dotted module.
+        self.import_aliases: Dict[str, str] = {}
+        #: ``from M import X [as Y]`` → local name → dotted full name.
+        self.from_imports: Dict[str, str] = {}
+        self.functions: Dict[str, FunctionInfo] = {}
+        self.classes: Dict[str, ClassInfo] = {}
+        self.module_funcs: Dict[str, str] = {}
+        self._collect_imports()
+        _IndexWalker(self).walk_module(tree)
+        # Dataclass-style annotated class attributes contribute type
+        # bindings: `stats: CacheStats = field(default_factory=CacheStats)`.
+        for cls in self.classes.values():
+            for stmt in cls.node.body:
+                if isinstance(stmt, ast.AnnAssign) and isinstance(
+                    stmt.target, ast.Name
+                ):
+                    annotation = stmt.annotation
+                    name = expr_name(annotation)
+                    if name:
+                        leaf = name.rsplit(".", 1)[-1]
+                        if leaf[:1].isupper():
+                            cls.self_attr_types.setdefault(
+                                stmt.target.id, leaf
+                            )
+
+    def _collect_imports(self) -> None:
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.asname:
+                        self.import_aliases[alias.asname] = alias.name
+                    else:
+                        head = alias.name.split(".", 1)[0]
+                        self.import_aliases[head] = head
+            elif isinstance(node, ast.ImportFrom):
+                base = self._resolve_from(node)
+                if base is None:
+                    continue
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    self.from_imports[local] = f"{base}.{alias.name}"
+
+    def _resolve_from(self, node: ast.ImportFrom) -> Optional[str]:
+        if not node.level:
+            return node.module
+        parts = self.package.split(".") if self.package else []
+        drop = node.level - 1
+        if drop > len(parts):
+            return None
+        if drop:
+            parts = parts[: len(parts) - drop]
+        if node.module:
+            parts = parts + node.module.split(".")
+        return ".".join(parts) if parts else None
+
+
+class ProjectIndex:
+    """The cross-module index + blocking-ness summaries of one analysis run."""
+
+    def __init__(self, modules: Sequence[ModuleIndex]):
+        self.modules: Dict[str, ModuleIndex] = {
+            m.path: m for m in sorted(modules, key=lambda m: m.path)
+        }
+        self.by_dotted: Dict[str, ModuleIndex] = {}
+        for m in self.modules.values():
+            self.by_dotted.setdefault(m.dotted, m)
+        #: Bare class name → ClassInfo (first module in path order wins).
+        self.class_registry: Dict[str, ClassInfo] = {}
+        for m in self.modules.values():
+            for cls in m.classes.values():
+                self.class_registry.setdefault(cls.name, cls)
+        self._cfg_cache: Dict[Tuple[str, str], CFG] = {}
+        self._locks_cache: Dict[Tuple[str, str], Dict[int, frozenset]] = {}
+        self._awaited_cache: Dict[Tuple[str, str], Set[int]] = {}
+        #: (path, qualname) → blocking reason chain.
+        self.blocking: Dict[Tuple[str, str], str] = {}
+        self._compute_blocking()
+
+    # ------------------------------------------------------------------
+    # per-function caches
+    # ------------------------------------------------------------------
+    def all_functions(self) -> List[FunctionInfo]:
+        """Every indexed function, in deterministic (path, line) order."""
+        out: List[FunctionInfo] = []
+        for m in self.modules.values():
+            out.extend(
+                sorted(
+                    m.functions.values(), key=lambda f: f.node.lineno
+                )
+            )
+        return out
+
+    def cfg_of(self, fn: FunctionInfo) -> CFG:
+        """The (cached) CFG of ``fn``."""
+        if fn.key not in self._cfg_cache:
+            self._cfg_cache[fn.key] = build_cfg(fn.node)
+        return self._cfg_cache[fn.key]
+
+    def locks_of(self, fn: FunctionInfo) -> Dict[int, frozenset]:
+        """The (cached) locks-held facts of ``fn``."""
+        if fn.key not in self._locks_cache:
+            self._locks_cache[fn.key] = locks_held(self.cfg_of(fn))
+        return self._locks_cache[fn.key]
+
+    def awaited_calls(self, fn: FunctionInfo) -> Set[int]:
+        """``id()`` of every Call node directly under an ``await``."""
+        if fn.key not in self._awaited_cache:
+            awaited: Set[int] = set()
+            for node in scope_nodes(fn.node):
+                if isinstance(node, ast.Await) and isinstance(
+                    node.value, ast.Call
+                ):
+                    awaited.add(id(node.value))
+            self._awaited_cache[fn.key] = awaited
+        return self._awaited_cache[fn.key]
+
+    # ------------------------------------------------------------------
+    # call resolution
+    # ------------------------------------------------------------------
+    def resolve_class(self, name: Optional[str]) -> Optional[ClassInfo]:
+        """Project-wide class lookup by bare name."""
+        if not name:
+            return None
+        return self.class_registry.get(name)
+
+    def _class_targets(self, cls: Optional[ClassInfo]) -> List[FunctionInfo]:
+        """Constructor summary targets: ``__init__`` + ``__post_init__``."""
+        if cls is None:
+            return []
+        out = []
+        for ctor in ("__init__", "__post_init__"):
+            qual = cls.methods.get(ctor)
+            if qual:
+                out.append(cls.module.functions[qual])
+        return out
+
+    def _local_bindings(self, fn: FunctionInfo) -> Dict[str, str]:
+        """``var = ClassName(...)`` bindings local to ``fn``'s scope."""
+        bindings: Dict[str, str] = {}
+        for node in scope_nodes(fn.node):
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = node.targets[0]
+                if isinstance(target, ast.Name):
+                    bound = _class_of_expr(node.value)
+                    if bound:
+                        bindings[target.id] = bound
+        return bindings
+
+    def classify_call(
+        self,
+        call: ast.Call,
+        fn: FunctionInfo,
+        local_bindings: Optional[Dict[str, str]] = None,
+    ) -> Tuple[List[FunctionInfo], Optional[str], Optional[str]]:
+        """Resolve one call site.
+
+        Returns ``(targets, external, attr_leaf)``:
+
+        * ``targets`` — analyzed functions this call may invoke (empty
+          when unresolvable);
+        * ``external`` — the dotted external name when the callee maps
+          through imports to an un-analyzed module (``"time.sleep"``),
+          or a bare builtin name (``"open"``);
+        * ``attr_leaf`` — the trailing attribute name of an otherwise
+          unresolvable method call (``"unlink"`` for ``path.unlink()``),
+          for :data:`BLOCKING_ATTRS` matching.
+        """
+        module = fn.module
+        func = call.func
+        if isinstance(func, ast.Name):
+            name = func.id
+            if name in fn.local_funcs:
+                return [module.functions[fn.local_funcs[name]]], None, None
+            if name in module.classes:
+                return self._class_targets(module.classes[name]), None, None
+            if name in module.module_funcs:
+                return (
+                    [module.functions[module.module_funcs[name]]],
+                    None,
+                    None,
+                )
+            if name in module.from_imports:
+                dotted = module.from_imports[name]
+                target = self._dotted_function(dotted)
+                if target is not None:
+                    return [target], None, None
+                cls = self._dotted_class(dotted)
+                if cls is not None:
+                    return self._class_targets(cls), None, None
+                return [], dotted, None
+            if name in module.import_aliases:
+                return [], module.import_aliases[name], None
+            if name in ("open", "input"):
+                return [], name, None
+            return [], None, None
+
+        if isinstance(func, ast.Attribute):
+            chain = expr_name(func)
+            leaf = func.attr
+            if chain is None:
+                # e.g. Path(self.directory).glob(...) — receiver is an
+                # expression; only the method name is known.
+                return [], None, leaf
+            parts = chain.split(".")
+            if parts[0] == "self" and fn.class_name:
+                cls = fn.module.classes.get(fn.class_name)
+                if cls is not None and len(parts) == 2:
+                    qual = cls.methods.get(leaf)
+                    if qual:
+                        return [fn.module.functions[qual]], None, None
+                    return [], None, None  # unknown own-method: stay quiet
+                if cls is not None and len(parts) == 3:
+                    bound = self.resolve_class(
+                        cls.self_attr_types.get(parts[1])
+                    )
+                    if bound is not None:
+                        qual = bound.methods.get(leaf)
+                        if qual:
+                            return (
+                                [bound.module.functions[qual]],
+                                None,
+                                None,
+                            )
+                        return [], None, None
+                return [], None, leaf
+            if parts[0] in module.import_aliases:
+                dotted = ".".join(
+                    [module.import_aliases[parts[0]]] + parts[1:]
+                )
+                target = self._dotted_function(dotted)
+                if target is not None:
+                    return [target], None, None
+                return [], dotted, None
+            if parts[0] in module.from_imports:
+                dotted = ".".join(
+                    [module.from_imports[parts[0]]] + parts[1:]
+                )
+                target = self._dotted_function(dotted)
+                if target is not None:
+                    return [target], None, None
+                return [], dotted, None
+            bindings = (
+                local_bindings
+                if local_bindings is not None
+                else self._local_bindings(fn)
+            )
+            if parts[0] in bindings and len(parts) == 2:
+                cls = self.resolve_class(bindings[parts[0]])
+                if cls is not None:
+                    qual = cls.methods.get(leaf)
+                    if qual:
+                        return [cls.module.functions[qual]], None, None
+                    return [], None, None
+            return [], None, leaf
+
+        return [], None, None
+
+    def _dotted_function(self, dotted: str) -> Optional[FunctionInfo]:
+        """An analyzed function behind a fully dotted name, if any."""
+        if "." not in dotted:
+            return None
+        mod, leaf = dotted.rsplit(".", 1)
+        module = self.by_dotted.get(mod)
+        if module is None:
+            return None
+        qual = module.module_funcs.get(leaf)
+        return module.functions[qual] if qual else None
+
+    def _dotted_class(self, dotted: str) -> Optional[ClassInfo]:
+        """An analyzed class behind a fully dotted name, if any."""
+        if "." not in dotted:
+            return None
+        mod, leaf = dotted.rsplit(".", 1)
+        module = self.by_dotted.get(mod)
+        if module is None:
+            return None
+        return module.classes.get(leaf)
+
+    # ------------------------------------------------------------------
+    # blocking-ness fixpoint
+    # ------------------------------------------------------------------
+    def direct_blocking_reason(
+        self,
+        call: ast.Call,
+        fn: FunctionInfo,
+        local_bindings: Optional[Dict[str, str]] = None,
+    ) -> Optional[str]:
+        """The blocking-root reason of this call site, if it is one."""
+        targets, external, leaf = self.classify_call(
+            call, fn, local_bindings
+        )
+        if targets:
+            return None  # resolved calls go through summaries
+        if external is not None and external in BLOCKING_CALLS:
+            return BLOCKING_CALLS[external]
+        if leaf is not None and leaf in BLOCKING_ATTRS:
+            return BLOCKING_ATTRS[leaf]
+        return None
+
+    def _compute_blocking(self) -> None:
+        """Seed direct roots, then propagate over resolved call edges."""
+        edges: Dict[Tuple[str, str], List[FunctionInfo]] = {}
+        order: List[FunctionInfo] = self.all_functions()
+        for fn in order:
+            awaited = self.awaited_calls(fn)
+            bindings = self._local_bindings(fn)
+            callees: List[FunctionInfo] = []
+            for node in scope_nodes(fn.node):
+                if not isinstance(node, ast.Call):
+                    continue
+                if id(node) in awaited:
+                    continue  # awaited calls are coroutines, not blockers
+                reason = self.direct_blocking_reason(node, fn, bindings)
+                if reason is not None and fn.key not in self.blocking:
+                    self.blocking[fn.key] = reason
+                callees.extend(
+                    self.classify_call(node, fn, bindings)[0]
+                )
+            edges[fn.key] = callees
+        changed = True
+        while changed:
+            changed = False
+            for fn in order:
+                if fn.key in self.blocking:
+                    continue
+                for callee in edges[fn.key]:
+                    if callee.is_async:
+                        continue  # calling an async fn just makes a coroutine
+                    reason = self.blocking.get(callee.key)
+                    if reason is not None:
+                        self.blocking[fn.key] = (
+                            f"{callee.display} → {reason}"
+                        )
+                        changed = True
+                        break

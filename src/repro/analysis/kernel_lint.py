@@ -36,7 +36,9 @@ __all__ = [
     "KERNEL_RULES",
     "HOT_DIRS",
     "lint_source",
+    "lint_tree",
     "lint_paths",
+    "cross_check_references",
     "kernel_lint_main",
 ]
 
@@ -89,6 +91,24 @@ _RANDOM_FUNCS = {
     "seed",
 }
 _ORDERED_CONSUMERS = {"list", "tuple", "enumerate"}
+#: numpy's module-level (global-RNG) sampling functions — the numpy
+#: twin of :data:`_RANDOM_FUNCS` (KRN002 extension).
+_NP_RANDOM_FUNCS = {
+    "rand",
+    "randn",
+    "randint",
+    "random",
+    "random_sample",
+    "shuffle",
+    "permutation",
+    "choice",
+    "seed",
+    "uniform",
+    "normal",
+}
+#: numpy RNG constructors that are nondeterministic when called with
+#: no seed argument.
+_NP_RNG_CTORS = {"default_rng", "RandomState"}
 
 
 def _is_set_expr(node: ast.AST) -> bool:
@@ -143,6 +163,11 @@ class _KernelVisitor(ast.NodeVisitor):
         self.uses_use_compiled_at: Optional[int] = None
         self.reference_defs: List[Tuple[str, int]] = []
         self.reference_mentions: Set[str] = set()
+        # KRN002 numpy extension: local names bound to the numpy package
+        # / the numpy.random module / its unseeded RNG constructors.
+        self._np_aliases: Set[str] = set()
+        self._npr_aliases: Set[str] = set()
+        self._np_ctor_names: Set[str] = set()
 
     # -- KRN001 -------------------------------------------------------
     def _flag_set_iter(self, node: ast.AST, context: str) -> None:
@@ -182,9 +207,15 @@ class _KernelVisitor(ast.NodeVisitor):
                 "extend",
             ):
                 self._flag_set_iter(node, f"through .{func.attr}(...)")
+        if self.check_random:
+            self._np_random_call(node)
         if self.check_random and isinstance(func, ast.Attribute):
             value = func.value
-            if isinstance(value, ast.Name) and value.id == "random":
+            if (
+                isinstance(value, ast.Name)
+                and value.id == "random"
+                and value.id not in self._npr_aliases
+            ):
                 if func.attr in _RANDOM_FUNCS:
                     self.hits.append(
                         (
@@ -209,7 +240,76 @@ class _KernelVisitor(ast.NodeVisitor):
                     )
         self.generic_visit(node)
 
+    def _flag_np_random(self, lineno: int, what: str) -> None:
+        self.hits.append(
+            (
+                "KRN002",
+                lineno,
+                f"{what} uses numpy's shared global RNG "
+                "(unseeded, process-wide)",
+                "use numpy.random.default_rng(seed) (see flow/rng.py)",
+            )
+        )
+
+    def _np_random_call(self, node: ast.Call) -> None:
+        """KRN002 numpy extension: global-RNG and unseeded-ctor calls."""
+        func = node.func
+        leaf: Optional[str] = None
+        if isinstance(func, ast.Attribute):
+            parts = []
+            cur: ast.AST = func
+            while isinstance(cur, ast.Attribute):
+                parts.append(cur.attr)
+                cur = cur.value
+            if not isinstance(cur, ast.Name):
+                return
+            parts.append(cur.id)
+            parts.reverse()
+            if (
+                len(parts) == 3
+                and parts[0] in self._np_aliases
+                and parts[1] == "random"
+            ):
+                leaf = parts[2]
+            elif len(parts) == 2 and parts[0] in self._npr_aliases:
+                leaf = parts[1]
+        elif isinstance(func, ast.Name) and func.id in self._np_ctor_names:
+            leaf = func.id
+        if leaf is None:
+            return
+        if leaf in _NP_RANDOM_FUNCS:
+            self._flag_np_random(
+                node.lineno, f"module-level numpy.random.{leaf}()"
+            )
+        elif leaf in _NP_RNG_CTORS and not (node.args or node.keywords):
+            self._flag_np_random(
+                node.lineno, f"numpy.random.{leaf}() without a seed"
+            )
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            if alias.name == "numpy":
+                self._np_aliases.add(alias.asname or "numpy")
+            elif alias.name.startswith("numpy.") and not alias.asname:
+                self._np_aliases.add("numpy")
+            elif alias.name == "numpy.random" and alias.asname:
+                self._npr_aliases.add(alias.asname)
+        self.generic_visit(node)
+
     def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if self.check_random and node.module == "numpy":
+            for alias in node.names:
+                if alias.name == "random":
+                    self._npr_aliases.add(alias.asname or "random")
+        if self.check_random and node.module == "numpy.random":
+            for alias in node.names:
+                if alias.name in _NP_RANDOM_FUNCS or alias.name == "*":
+                    self._flag_np_random(
+                        node.lineno,
+                        f"'from numpy.random import {alias.name}'",
+                    )
+                elif alias.name in _NP_RNG_CTORS:
+                    self._np_ctor_names.add(alias.asname or alias.name)
         if self.check_random and node.module == "random":
             for alias in node.names:
                 if alias.name in _RANDOM_FUNCS or alias.name == "*":
@@ -260,12 +360,24 @@ def lint_source(
 ) -> Tuple[List[Diagnostic], List[Tuple[str, int]]]:
     """Lint one module's source; returns (diagnostics, reference defs).
 
+    Parses ``code`` and hands the tree to :func:`lint_tree` — use that
+    directly when the caller (the shared engine in
+    :mod:`repro.analysis.concurrency.engine`) already holds a parse.
+    """
+    tree = ast.parse(code, filename=path)
+    return lint_tree(tree, code, path)
+
+
+def lint_tree(
+    tree: ast.Module, code: str, path: str
+) -> Tuple[List[Diagnostic], List[Tuple[str, int]]]:
+    """Lint one already-parsed module; returns (diagnostics, ref defs).
+
     ``path`` decides rule applicability: KRN001/KRN003 apply only under
     the :data:`HOT_DIRS`, KRN002 everywhere except ``flow/rng.py``.
     The returned reference definitions feed the cross-file ``KRN004``
-    check in :func:`lint_paths`.
+    check in :func:`cross_check_references`.
     """
-    tree = ast.parse(code, filename=path)
     lines = code.splitlines()
     hot = _is_hot_path(path)
     is_rng_home = os.path.normpath(path).endswith(
@@ -323,63 +435,52 @@ def _iter_py_files(paths: Iterable[str]) -> List[str]:
     return files
 
 
+def cross_check_references(
+    all_refs: Sequence[Tuple[str, str, int]],
+    tests_dir: Optional[str],
+) -> List[Diagnostic]:
+    """The cross-file KRN004 pass: every ``*_reference`` definition
+    found in the scanned sources must be mentioned somewhere under
+    ``tests_dir`` — the static half of the "exercised by an equivalence
+    test" contract.  ``all_refs`` holds ``(name, path, lineno)``.
+    """
+    diags: List[Diagnostic] = []
+    if not (tests_dir and os.path.isdir(tests_dir) and all_refs):
+        return diags
+    corpus = []
+    for path in _iter_py_files([tests_dir]):
+        with open(path) as fh:
+            corpus.append(fh.read())
+    tests_text = "\n".join(corpus)
+    for name, path, lineno in all_refs:
+        if name not in tests_text:
+            diags.append(
+                Diagnostic(
+                    rule_id="KRN004",
+                    severity="error",
+                    location=f"{path}:{lineno}",
+                    message=f"reference twin {name} is never "
+                    f"exercised under {tests_dir}",
+                    fixit_hint="add an equivalence test against the "
+                    "compiled path",
+                )
+            )
+    return diags
+
+
 def lint_paths(
     paths: Sequence[str],
     tests_dir: Optional[str] = None,
 ) -> DiagnosticReport:
     """Lint every ``.py`` file under ``paths``; cross-check tests.
 
-    When ``tests_dir`` is given, every ``*_reference`` definition found
-    in the scanned sources must be mentioned somewhere under it
-    (``KRN004``) — the static half of the "exercised by an equivalence
-    test" contract.
+    A thin façade over the shared analysis engine restricted to the
+    ``KRN`` family (one parse per file, shared with the concurrency
+    rules when both families run through ``merced lint-code``).
     """
-    diags: List[Diagnostic] = []
-    all_refs: List[Tuple[str, str, int]] = []
-    for path in _iter_py_files(paths):
-        with open(path) as fh:
-            code = fh.read()
-        try:
-            file_diags, refs = lint_source(code, path)
-        except SyntaxError as exc:
-            diags.append(
-                Diagnostic(
-                    rule_id="KRN001",
-                    severity="error",
-                    location=f"{path}:{exc.lineno or 0}",
-                    message=f"file does not parse: {exc.msg}",
-                    fixit_hint="",
-                )
-            )
-            continue
-        diags.extend(file_diags)
-        all_refs.extend((name, path, lineno) for name, lineno in refs)
+    from .concurrency.engine import analyze_paths
 
-    if tests_dir and os.path.isdir(tests_dir) and all_refs:
-        corpus = []
-        for path in _iter_py_files([tests_dir]):
-            with open(path) as fh:
-                corpus.append(fh.read())
-        tests_text = "\n".join(corpus)
-        for name, path, lineno in all_refs:
-            if name not in tests_text:
-                diags.append(
-                    Diagnostic(
-                        rule_id="KRN004",
-                        severity="error",
-                        location=f"{path}:{lineno}",
-                        message=f"reference twin {name} is never "
-                        f"exercised under {tests_dir}",
-                        fixit_hint="add an equivalence test against the "
-                        "compiled path",
-                    )
-                )
-
-    return DiagnosticReport(
-        subject=", ".join(paths),
-        diagnostics=tuple(diags),
-        rules_checked=KERNEL_RULES,
-    )
+    return analyze_paths(paths, tests_dir=tests_dir, families=("KRN",))
 
 
 def kernel_lint_main(argv: Optional[Sequence[str]] = None) -> int:

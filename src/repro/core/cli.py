@@ -10,6 +10,7 @@ Examples::
     merced sweep s27 --seeds 1 2 3 4 5 --stats-json stats.json
     merced lint s5378 --lk 16 --json
     merced lint examples/s27.bench --suppress NET004 --min-severity warning
+    merced lint-code src/ --json
     merced serve --port 8356 --cache ~/.merced-cache --workers 4
     merced submit s27 s510 --lk 16 24 --url http://127.0.0.1:8356
 """
@@ -50,6 +51,8 @@ def build_parser() -> argparse.ArgumentParser:
             "Subcommands: 'merced sweep --help' runs parameter grids "
             "through the parallel execution farm with result caching; "
             "'merced lint --help' runs the static circuit/DFT linter; "
+            "'merced lint-code --help' runs the concurrency + kernel "
+            "static analyzer over Python sources; "
             "'merced serve --help' starts the long-running HTTP compile "
             "service; 'merced submit --help' posts work to it; "
             "'merced corpus --help' generates deterministic synthetic "
@@ -471,6 +474,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return sweep_main(argv[1:])
     if argv and argv[0] == "lint":
         return lint_main(argv[1:])
+    if argv and argv[0] == "lint-code":
+        from ..analysis.concurrency.engine import lint_code_main
+
+        return lint_code_main(argv[1:])
     if argv and argv[0] == "serve":
         from ..service.cli import serve_main
 

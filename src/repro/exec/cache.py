@@ -94,7 +94,15 @@ class ResultCache:
 
     def __post_init__(self) -> None:
         self.directory = Path(self.directory)
-        self.directory.mkdir(parents=True, exist_ok=True)
+        # No eager mkdir: the constructor runs on service event loops
+        # (CompileService.__init__) and must not touch the filesystem.
+        # put() creates the shard directories on first store; an
+        # unusable cache directory therefore surfaces as stats.errors
+        # on the first store instead of an exception at boot.
+        # Guards the stats counters: get/put run on executor threads
+        # while the service reads snapshots from the event loop.  Not a
+        # dataclass field — never compared, never pickled.
+        self._lock = threading.Lock()
 
     def _path(self, key: str) -> Path:
         return Path(self.directory) / key[:2] / f"{key}.json"
@@ -111,13 +119,16 @@ class ResultCache:
                 document = json.load(fh)
             payload = document["payload"]
         except FileNotFoundError:
-            self.stats.misses += 1
+            with self._lock:
+                self.stats.misses += 1
             return None
         except (OSError, ValueError, KeyError, TypeError):
-            self.stats.errors += 1
-            self.stats.misses += 1
+            with self._lock:
+                self.stats.errors += 1
+                self.stats.misses += 1
             return None
-        self.stats.hits += 1
+        with self._lock:
+            self.stats.hits += 1
         return payload
 
     def put(self, key: str, payload: Dict[str, object], **meta) -> bool:
@@ -146,7 +157,8 @@ class ResultCache:
             os.replace(tmp, path)
             tmp = None
         except (OSError, TypeError, ValueError):
-            self.stats.errors += 1
+            with self._lock:
+                self.stats.errors += 1
             return False
         finally:
             if tmp is not None:
@@ -154,8 +166,20 @@ class ResultCache:
                     os.unlink(tmp)
                 except OSError:
                     pass
-        self.stats.stores += 1
+        with self._lock:
+            self.stats.stores += 1
         return True
+
+    def stats_snapshot(self) -> Dict[str, object]:
+        """Consistent plain-dict view of the counters, taken under the lock.
+
+        ``/metrics`` readers must use this instead of ``stats.as_dict()``:
+        the counters are mutated from executor threads, and an unlocked
+        multi-field read can observe a torn update (e.g. ``hits`` from
+        before a lookup with ``misses`` from after it).
+        """
+        with self._lock:
+            return self.stats.as_dict()
 
     def __len__(self) -> int:
         """Number of entries currently on disk."""
@@ -186,7 +210,8 @@ class ResultCache:
         try:
             return json.dumps(payload, sort_keys=True).encode("utf-8")
         except (TypeError, ValueError):
-            self.stats.errors += 1
+            with self._lock:
+                self.stats.errors += 1
             return None
 
     def flush(self, min_age_s: float = 0.0) -> int:
@@ -353,7 +378,13 @@ class HotCache:
             return self._bytes
 
     def as_dict(self) -> Dict[str, object]:
-        """Stats + occupancy snapshot (for ``/metrics``)."""
+        """Stats + occupancy snapshot (for ``/metrics``).
+
+        The whole snapshot — occupancy *and* counters — is taken under
+        the lock: the counters are mutated by executor threads, and
+        reading them unlocked can pair an ``entries`` count from one
+        moment with ``stores``/``evictions`` from another (torn read).
+        """
         with self._lock:
             snapshot = {
                 "entries": len(self._entries),
@@ -361,5 +392,5 @@ class HotCache:
                 "max_entries": self.max_entries,
                 "max_bytes": self.max_bytes,
             }
-        snapshot.update(self.stats.as_dict())
+            snapshot.update(self.stats.as_dict())
         return snapshot

@@ -36,6 +36,8 @@ the pool at all.
 
 from __future__ import annotations
 
+import multiprocessing
+import threading
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
@@ -289,7 +291,19 @@ class SweepFarm:
             executor.shutdown(wait=True)
 
     def _new_executor(self) -> ProcessPoolExecutor:
-        return ProcessPoolExecutor(max_workers=self.policy.jobs)
+        # Forking with live threads (service executors, the watchdog
+        # timer) copies held locks into the child, which can deadlock
+        # it instantly.  Keep the cheap default fork start for the
+        # single-threaded CLI path, but switch to spawn whenever any
+        # other thread is already running.
+        mp_context = (
+            multiprocessing.get_context("spawn")
+            if threading.active_count() > 1
+            else None
+        )
+        return ProcessPoolExecutor(
+            max_workers=self.policy.jobs, mp_context=mp_context
+        )
 
     @staticmethod
     def _to_result(point, outcome, attempts) -> TaskResult:

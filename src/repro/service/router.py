@@ -49,7 +49,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..exec.hashing import code_version, point_key
+from ..exec.hashing import code_version, point_key_strict
 from ..perf import LatencyHistogram
 from .protocol import (
     MAX_HEAD_BYTES,
@@ -222,7 +222,11 @@ class FleetRouter:
     # ------------------------------------------------------------------
     async def start(self) -> None:
         """Bind the public listener."""
-        self._code = code_version()
+        # The first code_version() call hashes every package source
+        # file from disk — keep it off the event loop.
+        self._code = await asyncio.get_running_loop().run_in_executor(
+            None, code_version
+        )
         self._server = await asyncio.start_server(
             self._handle_conn,
             host=self.config.host,
@@ -381,7 +385,7 @@ class FleetRouter:
                 "error": "fleet is draining; resubmit elsewhere",
                 "error_type": "ServiceDraining",
             }, None
-        key = point_key(point, code=self._code)
+        key = point_key_strict(point, self._code)
 
         body = RawJSON(
             json.dumps(submission, sort_keys=True).encode("utf-8")

@@ -67,7 +67,7 @@ from ..circuits.library import load_circuit
 from ..config import MercedConfig
 from ..errors import ReproError
 from ..exec.cache import HotCache, ResultCache
-from ..exec.hashing import code_version, point_key, short_key
+from ..exec.hashing import code_version, point_key_strict, short_key
 from ..exec.pool import SweepFarm
 from ..exec.task import SweepPoint, TaskResult, known_kinds
 from ..exec.watchdog import watchdog_stats
@@ -399,8 +399,12 @@ class CompileService:
             self._lint_executor = ThreadPoolExecutor(
                 max_workers=1, thread_name_prefix="merced-lint"
             )
-        # Hash the code tree once up front, not per request.
-        self._code = code_version()
+        # Hash the code tree once up front, not per request — and off
+        # the loop: the first code_version() call reads every package
+        # source file from disk.
+        self._code = await asyncio.get_running_loop().run_in_executor(
+            None, code_version
+        )
         # The stream limit only bounds readline/readuntil (the request
         # head); bodies go through readexactly, which is not subject to
         # it.  Keeping the limit head-sized means a client that never
@@ -441,10 +445,11 @@ class CompileService:
             # orphan; otherwise spare anything young enough to belong
             # to a stranded writer still mid-store.
             quiesced = not self._active and not self._stranded
-            self.cache.flush(
-                min_age_s=(
-                    0.0 if quiesced else max(self.config.drain_grace, 60.0)
-                )
+            min_age = 0.0 if quiesced else max(self.config.drain_grace, 60.0)
+            # flush() walks and unlinks on disk; keep it off the loop so
+            # a slow filesystem can't stall the final response writes.
+            await loop.run_in_executor(
+                None, lambda: self.cache.flush(min_age_s=min_age)
             )
         if self._executor is not None:
             self._executor.shutdown(wait=False)
@@ -589,7 +594,9 @@ class CompileService:
             "perf": snapshot["perf"],
             "latency": snapshot["latency"],
             "cache": (
-                self.cache.stats.as_dict() if self.cache is not None else None
+                self.cache.stats_snapshot()
+                if self.cache is not None
+                else None
             ),
             "hot_cache": (
                 self.hot.as_dict() if self.hot is not None else None
@@ -628,7 +635,7 @@ class CompileService:
                 "error_type": "ServiceDraining",
             }, None
 
-        key = point_key(point, code=self._code)
+        key = point_key_strict(point, self._code)
 
         # Hot tier first, whatever the mode: answered on the event loop
         # with the stored bytes spliced straight into the response — no
@@ -640,7 +647,7 @@ class CompileService:
                 return 200, self._hot_response(point, key, blob), None
 
         if mode == "cache_only":
-            return self._cache_only(point, key)
+            return await self._cache_only(point, key)
         if mode == "lint_only":
             return await self._lint_only(point, key)
 
@@ -795,7 +802,7 @@ class CompileService:
             if self.hot.put(key, blob):
                 self.metrics.bump("hot_stores")
 
-    def _cache_only(
+    async def _cache_only(
         self, point: SweepPoint, key: str
     ) -> Tuple[int, object, Optional[Dict[str, str]]]:
         """Answer from the disk tier without touching admission.
@@ -803,9 +810,15 @@ class CompileService:
         The hot tier was already consulted by :meth:`submit_point`; a
         disk hit is promoted into it so the next repeat is a memory
         splice.  A miss is a ``404`` — the router's shedding ladder
-        falls through to ``lint_only`` on it.
+        falls through to ``lint_only`` on it.  The disk read happens on
+        an executor thread, not the event loop.
         """
-        blob = self.cache.get_bytes(key) if self.cache is not None else None
+        if self.cache is not None:
+            blob = await asyncio.get_running_loop().run_in_executor(
+                None, self.cache.get_bytes, key
+            )
+        else:
+            blob = None
         if blob is None:
             self.metrics.bump("cache_only_misses")
             return 404, {

@@ -1,0 +1,269 @@
+"""CFG construction and lock dataflow: shapes, joins, scope boundaries."""
+
+import ast
+import textwrap
+
+from repro.analysis.concurrency.cfg import (
+    build_cfg,
+    expr_name,
+    is_lockish,
+    scope_nodes,
+)
+from repro.analysis.concurrency.dataflow import locks_held
+
+
+def func_of(code, name=None):
+    tree = ast.parse(textwrap.dedent(code))
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if name is None or node.name == name:
+                return node
+    raise AssertionError("no function found")
+
+
+def cfg_of(code, name=None):
+    return build_cfg(func_of(code, name))
+
+
+def node_at(cfg, lineno):
+    for node in cfg.stmt_nodes():
+        if node.lineno == lineno:
+            return node
+    raise AssertionError(f"no CFG node at line {lineno}")
+
+
+class TestExprName:
+    def test_dotted_chains(self):
+        assert expr_name(ast.parse("self._lock", mode="eval").body) == (
+            "self._lock"
+        )
+        assert expr_name(ast.parse("a.b.c", mode="eval").body) == "a.b.c"
+        assert expr_name(ast.parse("f()", mode="eval").body) is None
+
+    def test_lockish(self):
+        assert is_lockish("self._lock")
+        assert is_lockish("GLOBAL_STATS_LOCK")
+        assert is_lockish("cache_mutex")
+        assert not is_lockish("self.block_size")  # 'block' carve-out
+        assert not is_lockish("self.counter")
+        assert not is_lockish(None)
+
+
+class TestCfgShapes:
+    def test_straight_line(self):
+        cfg = cfg_of("def f():\n    a = 1\n    b = 2\n")
+        stmts = list(cfg.stmt_nodes())
+        assert len(stmts) == 2
+        assert cfg.nodes[cfg.entry].succs == [stmts[0].index]
+        assert stmts[0].succs == [stmts[1].index]
+        assert stmts[1].succs == [cfg.exit]
+
+    def test_if_branches_rejoin(self):
+        cfg = cfg_of(
+            """
+            def f(c):
+                if c:
+                    a = 1
+                else:
+                    a = 2
+                b = 3
+            """
+        )
+        join = node_at(cfg, 7)
+        assert sorted(join.preds) == sorted(
+            [node_at(cfg, 4).index, node_at(cfg, 6).index]
+        )
+
+    def test_if_without_else_falls_through(self):
+        cfg = cfg_of(
+            """
+            def f(c):
+                if c:
+                    a = 1
+                b = 2
+            """
+        )
+        join = node_at(cfg, 5)
+        assert node_at(cfg, 3).index in join.preds  # the test itself
+        assert node_at(cfg, 4).index in join.preds
+
+    def test_while_loop_back_edge_and_break(self):
+        cfg = cfg_of(
+            """
+            def f(c):
+                while c:
+                    if c > 1:
+                        break
+                    c -= 1
+                done = 1
+            """
+        )
+        head = node_at(cfg, 3)
+        body_tail = node_at(cfg, 6)
+        assert head.index in body_tail.succs  # back edge
+        done = node_at(cfg, 7)
+        brk = node_at(cfg, 5)
+        assert done.index in brk.succs  # break exits the loop
+        assert done.index in head.succs  # normal exit
+
+    def test_return_cuts_fallthrough(self):
+        cfg = cfg_of(
+            """
+            def f(c):
+                if c:
+                    return 1
+                return 2
+            """
+        )
+        ret1 = node_at(cfg, 4)
+        assert ret1.succs == [cfg.exit]
+
+    def test_try_edges_into_handler(self):
+        cfg = cfg_of(
+            """
+            def f():
+                try:
+                    risky()
+                except ValueError:
+                    fallback()
+                after()
+            """
+        )
+        risky = node_at(cfg, 4)
+        handler_entries = [
+            n for n in cfg.nodes if n.kind == "except-entry"
+        ]
+        assert len(handler_entries) == 1
+        assert handler_entries[0].index in risky.succs
+        after = node_at(cfg, 7)
+        assert node_at(cfg, 6).index in after.preds  # handler rejoins
+
+    def test_with_enter_exit_lock_annotations(self):
+        cfg = cfg_of(
+            """
+            def f(self):
+                with self._lock:
+                    x = 1
+            """
+        )
+        enters = [n for n in cfg.nodes if n.kind == "with-enter"]
+        exits = [n for n in cfg.nodes if n.kind == "with-exit"]
+        assert enters[0].acquires == ("self._lock",)
+        assert exits[0].releases == ("self._lock",)
+
+    def test_non_lock_with_not_annotated(self):
+        cfg = cfg_of(
+            """
+            def f(path):
+                with open(path) as fh:
+                    fh.read()
+            """
+        )
+        enters = [n for n in cfg.nodes if n.kind == "with-enter"]
+        assert enters[0].acquires == ()
+
+    def test_explicit_acquire_release(self):
+        cfg = cfg_of(
+            """
+            def f(self):
+                self._lock.acquire()
+                x = 1
+                self._lock.release()
+            """
+        )
+        assert node_at(cfg, 3).acquires == ("self._lock",)
+        assert node_at(cfg, 5).releases == ("self._lock",)
+
+    def test_lambda_single_node(self):
+        tree = ast.parse("f = lambda x: x + 1")
+        lam = tree.body[0].value
+        cfg = build_cfg(lam)
+        assert len(list(cfg.stmt_nodes())) == 1
+
+
+class TestLocksHeld:
+    def test_held_inside_with_released_after(self):
+        cfg = cfg_of(
+            """
+            def f(self):
+                with self._lock:
+                    inside = 1
+                outside = 2
+            """
+        )
+        held = locks_held(cfg)
+        assert held[node_at(cfg, 4).index] == {"self._lock"}
+        assert held[node_at(cfg, 5).index] == frozenset()
+
+    def test_with_header_does_not_hold_its_own_lock(self):
+        cfg = cfg_of(
+            """
+            def f(self):
+                with self._lock:
+                    inside = 1
+            """
+        )
+        held = locks_held(cfg)
+        enter = [n for n in cfg.nodes if n.kind == "with-enter"][0]
+        assert held[enter.index] == frozenset()
+
+    def test_must_join_one_armed_acquire(self):
+        # Lock taken on only one branch: NOT held at the join.
+        cfg = cfg_of(
+            """
+            def f(self, c):
+                if c:
+                    self._lock.acquire()
+                after = 1
+            """
+        )
+        held = locks_held(cfg)
+        assert held[node_at(cfg, 5).index] == frozenset()
+
+    def test_must_join_both_arms_acquire(self):
+        cfg = cfg_of(
+            """
+            def f(self, c):
+                if c:
+                    self._lock.acquire()
+                else:
+                    self._lock.acquire()
+                after = 1
+            """
+        )
+        held = locks_held(cfg)
+        assert held[node_at(cfg, 7).index] == {"self._lock"}
+
+    def test_nested_locks_accumulate(self):
+        cfg = cfg_of(
+            """
+            def f(self):
+                with self.a_lock:
+                    with self.b_lock:
+                        both = 1
+            """
+        )
+        held = locks_held(cfg)
+        assert held[node_at(cfg, 5).index] == {
+            "self.a_lock",
+            "self.b_lock",
+        }
+
+
+class TestScopeNodes:
+    def test_nested_defs_excluded(self):
+        fn = func_of(
+            """
+            def outer():
+                a = 1
+                def inner():
+                    b = 2
+                lam = lambda: 3
+            """,
+            name="outer",
+        )
+        names = {
+            n.id for n in scope_nodes(fn) if isinstance(n, ast.Name)
+        }
+        assert "a" in names
+        assert "b" not in names

@@ -80,6 +80,73 @@ class TestKrn002UnseededRandom:
         assert lint(code, path="src/repro/flow/rng.py") == []
 
 
+class TestKrn002NumpyRandom:
+    def test_np_random_func(self):
+        diags = lint(
+            "import numpy as np\nx = np.random.rand(3)\n", path=COLD
+        )
+        assert ids(diags) == ["KRN002"]
+        assert "numpy" in diags[0].message
+        assert "default_rng" in diags[0].fixit_hint
+
+    def test_plain_numpy_import(self):
+        assert ids(
+            lint("import numpy\nx = numpy.random.shuffle(a)\n", path=COLD)
+        ) == ["KRN002"]
+
+    def test_numpy_random_module_alias(self):
+        assert ids(
+            lint("import numpy.random as npr\nx = npr.randint(9)\n", path=COLD)
+        ) == ["KRN002"]
+
+    def test_from_numpy_import_random(self):
+        assert ids(
+            lint("from numpy import random\nx = random.normal()\n", path=COLD)
+        ) == ["KRN002"]
+
+    def test_from_numpy_random_import_func(self):
+        assert ids(
+            lint("from numpy.random import shuffle\n", path=COLD)
+        ) == ["KRN002"]
+
+    def test_unseeded_default_rng(self):
+        assert ids(
+            lint(
+                "from numpy.random import default_rng\nrng = default_rng()\n",
+                path=COLD,
+            )
+        ) == ["KRN002"]
+
+    def test_seeded_default_rng_is_fine(self):
+        assert (
+            lint(
+                "from numpy.random import default_rng\n"
+                "rng = default_rng(1996)\n",
+                path=COLD,
+            )
+            == []
+        )
+
+    def test_non_rng_numpy_usage_is_fine(self):
+        assert (
+            lint(
+                "import numpy as np\nx = np.zeros(3)\ny = np.arange(9)\n",
+                path=COLD,
+            )
+            == []
+        )
+
+    def test_rng_home_exempt(self):
+        code = "import numpy as np\nx = np.random.rand(3)\n"
+        assert lint(code, path="src/repro/flow/rng.py") == []
+
+    def test_unrelated_random_attr_not_confused(self):
+        # `<obj>.random.<f>` where obj is not a numpy alias must not fire.
+        assert (
+            lint("x = cfg.random.choice\n", path=COLD) == []
+        )
+
+
 class TestSuppression:
     def test_same_line_marker(self):
         code = "for x in {1, 2}:  # lint: disable=KRN001\n    pass\n"

@@ -1,0 +1,165 @@
+"""`merced lint-code`: exit codes, baseline gate, filters, JSON mode."""
+
+import json
+import os
+
+import pytest
+
+from repro.analysis.concurrency.engine import (
+    DEFAULT_BASELINE,
+    analyze_paths,
+    finding_fingerprint,
+    lint_code_main,
+    load_baseline,
+    write_baseline,
+)
+
+CLEAN = "def fine():\n    return 1\n"
+
+HAZARD = (
+    "import time\n"
+    "\n"
+    "async def handler():\n"
+    "    time.sleep(1)\n"
+)
+
+WARNING_ONLY = (
+    "from concurrent.futures import ProcessPoolExecutor\n"
+    "\n"
+    "def boot():\n"
+    "    return ProcessPoolExecutor(max_workers=2)\n"
+)
+
+
+def write(tmp_path, name, body):
+    path = tmp_path / name
+    path.write_text(body)
+    return str(path)
+
+
+@pytest.fixture
+def in_tmp(tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    return tmp_path
+
+
+class TestExitCodes:
+    def test_clean_tree_exits_zero(self, in_tmp, capsys):
+        write(in_tmp, "ok.py", CLEAN)
+        assert lint_code_main(["."]) == 0
+        assert "0 error(s), 0 warning(s)" in capsys.readouterr().out
+
+    def test_error_finding_exits_one(self, in_tmp, capsys):
+        write(in_tmp, "bad.py", HAZARD)
+        assert lint_code_main(["."]) == 1
+        assert "CONC001" in capsys.readouterr().out
+
+    def test_warnings_are_fatal(self, in_tmp, capsys):
+        write(in_tmp, "warn.py", WARNING_ONLY)
+        assert lint_code_main(["."]) == 1
+        assert "CONC006" in capsys.readouterr().out
+
+    def test_syntax_error_exits_one(self, in_tmp, capsys):
+        write(in_tmp, "broken.py", "def broken(:\n")
+        assert lint_code_main(["."]) == 1
+        assert "does not parse" in capsys.readouterr().out
+
+
+class TestFilters:
+    def test_suppress_drops_rule(self, in_tmp, capsys):
+        write(in_tmp, "bad.py", HAZARD)
+        assert lint_code_main([".", "--suppress", "CONC001"]) == 0
+
+    def test_suppress_comma_list(self, in_tmp, capsys):
+        write(in_tmp, "bad.py", HAZARD)
+        write(in_tmp, "warn.py", WARNING_ONLY)
+        assert (
+            lint_code_main([".", "--suppress", "CONC001,CONC006"]) == 0
+        )
+
+    def test_min_severity_error_hides_warnings(self, in_tmp, capsys):
+        write(in_tmp, "warn.py", WARNING_ONLY)
+        assert lint_code_main([".", "--min-severity", "error"]) == 0
+
+    def test_inline_disable_marker(self, in_tmp, capsys):
+        write(
+            in_tmp,
+            "bad.py",
+            HAZARD.replace(
+                "time.sleep(1)", "time.sleep(1)  # lint: disable=CONC001"
+            ),
+        )
+        assert lint_code_main(["."]) == 0
+
+
+class TestJsonOutput:
+    def test_json_report_shape(self, in_tmp, capsys):
+        write(in_tmp, "bad.py", HAZARD)
+        assert lint_code_main([".", "--json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["n_errors"] == 1
+        diags = payload["diagnostics"]
+        assert diags[0]["rule_id"] == "CONC001"
+        assert diags[0]["location"].endswith("bad.py:4")
+
+
+class TestBaselineGate:
+    def test_write_then_gate_cycle(self, in_tmp, capsys):
+        write(in_tmp, "bad.py", HAZARD)
+        # 1. capture existing debt
+        assert lint_code_main([".", "--write-baseline"]) == 0
+        assert os.path.isfile(DEFAULT_BASELINE)
+        # 2. baselined finding no longer fails the run
+        assert lint_code_main(["."]) == 0
+        # 3. a NEW finding still fails
+        write(in_tmp, "new.py", WARNING_ONLY)
+        assert lint_code_main(["."]) == 1
+        out = capsys.readouterr().out
+        assert "new.py" in out
+        assert "bad.py" not in out  # old debt stays hidden
+
+    def test_no_baseline_flag_ignores_file(self, in_tmp, capsys):
+        write(in_tmp, "bad.py", HAZARD)
+        lint_code_main([".", "--write-baseline"])
+        assert lint_code_main([".", "--no-baseline"]) == 1
+
+    def test_fingerprint_survives_line_moves(self, in_tmp):
+        path = write(in_tmp, "bad.py", HAZARD)
+        before = analyze_paths([path]).diagnostics
+        # Prepend a comment block: line numbers shift, identity doesn't.
+        with open(path, "w") as fh:
+            fh.write("# moved\n# down\n" + HAZARD)
+        after = analyze_paths([path]).diagnostics
+        assert [finding_fingerprint(d) for d in before] == [
+            finding_fingerprint(d) for d in after
+        ]
+
+    def test_baseline_file_round_trip(self, in_tmp):
+        path = write(in_tmp, "bad.py", HAZARD)
+        report = analyze_paths([path])
+        count = write_baseline(report, "base.json")
+        assert count == len(report.diagnostics) == 1
+        fingerprints = load_baseline("base.json")
+        assert fingerprints == {
+            finding_fingerprint(d) for d in report.diagnostics
+        }
+        with open("base.json") as fh:
+            data = json.load(fh)
+        assert data["version"] == 1
+        assert data["findings"][0]["rule_id"] == "CONC001"
+
+
+class TestRepoIsClean:
+    def test_src_repro_has_no_findings(self):
+        # Acceptance: the shipped tree passes its own analyzer with an
+        # EMPTY baseline — every finding it raised was fixed, not hidden.
+        root = os.path.dirname(
+            os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        )
+        report = analyze_paths(
+            [os.path.join(root, "src", "repro")],
+            tests_dir=os.path.join(root, "tests"),
+        )
+        assert report.diagnostics == ()
+        with open(os.path.join(root, DEFAULT_BASELINE)) as fh:
+            assert json.load(fh)["findings"] == []
