@@ -1,0 +1,133 @@
+"""Benchmark the ``--optimize`` refinement tier against one-shot greedy.
+
+Compiles each circuit twice — the plain greedy pipeline and the same
+pipeline with ``--optimize anneal`` (plus the cheap ``fast`` variant) —
+and writes ``BENCH_optimize.json`` at the repo root: per circuit, the
+Eq. 4 Σ before/after, cut and uncovered-cut counts, and the Table 12
+area ratios (``A_CBIT/A_Total`` with/without retiming) whose deltas the
+golden tables pin.
+
+All recorded fields except ``seconds`` are deterministic (the anneal
+schedule is a pure function of circuit size and ``optimize_budget``),
+so the committed file doubles as a regression baseline:
+``scripts/bench_trend.py --check`` statically validates it — every
+entry must satisfy ``sigma_after ≤ sigma_before`` and at least
+:data:`MIN_IMPROVED` entries must show a strict Σ reduction.
+
+Run (writes the baseline in place):
+    PYTHONPATH=src python scripts/bench_optimize.py
+    PYTHONPATH=src python scripts/bench_optimize.py --circuits s510 s641
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO / "src"))
+
+from repro import Merced, MercedConfig  # noqa: E402
+from repro.circuits import load_circuit  # noqa: E402
+
+OUT = REPO / "BENCH_optimize.json"
+
+#: Bundled benchmarks the refinement tier is tracked on.  s27 is the
+#: degenerate single-cluster case (the annealer must return the seed);
+#: the rest are the circuits the anneal tier improves.
+CIRCUITS = ["s27", "s510", "s641", "s713", "s820", "s832"]
+
+#: `--check` requires at least this many entries with a strict Σ win.
+MIN_IMPROVED = 3
+
+LK = 16
+SEED = 1996
+BUDGET = 10.0
+
+
+def run_circuit(name: str) -> dict:
+    netlist = load_circuit(name)
+    base = MercedConfig(lk=LK, seed=SEED)
+    greedy = Merced(base).run(netlist)
+    entry = {
+        "greedy": {
+            "sigma": round(greedy.cost_dff, 4),
+            "n_cuts": greedy.area.n_cut_nets,
+            "pct_with_retiming": round(greedy.area.pct_with_retiming, 4),
+            "pct_without_retiming": round(
+                greedy.area.pct_without_retiming, 4
+            ),
+        }
+    }
+    for method in ("fast", "anneal"):
+        config = base.with_optimize(method, BUDGET)
+        t0 = time.perf_counter()
+        report = Merced(config).run(load_circuit(name))
+        seconds = time.perf_counter() - t0
+        stats = dict(report.optimize)
+        entry[method] = {
+            "sigma_before": stats["sigma_before"],
+            "sigma_after": stats["sigma_after"],
+            "sigma_delta": stats["sigma_delta"],
+            "cuts_before": stats["cuts_before"],
+            "cuts_after": stats["cuts_after"],
+            "uncovered_before": stats["uncovered_before"],
+            "uncovered_after": stats["uncovered_after"],
+            "n_steps": stats["n_steps"],
+            "n_accepted": stats["n_accepted"],
+            "pct_with_retiming": round(report.area.pct_with_retiming, 4),
+            "pct_without_retiming": round(
+                report.area.pct_without_retiming, 4
+            ),
+            "seconds": round(seconds, 2),
+        }
+    return entry
+
+
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", type=Path, default=OUT)
+    parser.add_argument(
+        "--circuits", nargs="*", default=CIRCUITS, metavar="NAME"
+    )
+    args = parser.parse_args(argv)
+    payload = {
+        "_meta": {
+            "workload": "greedy vs --optimize {fast,anneal}",
+            "lk": LK,
+            "seed": SEED,
+            "optimize_budget": BUDGET,
+            "min_improved": MIN_IMPROVED,
+            "python": platform.python_version(),
+            "note": (
+                "all fields except seconds are deterministic; "
+                "sigma_after <= sigma_before is guaranteed by the tier"
+            ),
+        },
+        "circuits": {},
+    }
+    improved = 0
+    for name in args.circuits:
+        entry = run_circuit(name)
+        payload["circuits"][name] = entry
+        anneal = entry["anneal"]
+        if anneal["sigma_after"] < anneal["sigma_before"]:
+            improved += 1
+        print(
+            f"{name:>6}: greedy Σ={entry['greedy']['sigma']:9.2f}  "
+            f"anneal Σ={anneal['sigma_after']:9.2f} "
+            f"(Δ={anneal['sigma_delta']:+.2f})  "
+            f"uncovered {anneal['uncovered_before']}"
+            f"->{anneal['uncovered_after']}  {anneal['seconds']:.1f}s"
+        )
+    print(f"{improved}/{len(args.circuits)} circuits improved Σ under anneal")
+    args.out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {args.out}")
+
+
+if __name__ == "__main__":
+    main()

@@ -28,11 +28,15 @@ than 10%, or a subsampled (stride ≠ 1) run would be compared against a
 full-cut-set baseline:
     PYTHONPATH=src python scripts/bench_trend.py --check --circuits s641
 
-``--check`` also statically validates the committed fleet baseline
+``--check`` also statically validates two committed sibling baselines
+without re-running them, so CI stays fast: the fleet benchmark
 (``BENCH_service_fleet.json``, written by
-``benchmarks/bench_service_fleet.py``): the ≥3× 4-shard/1-shard
+``benchmarks/bench_service_fleet.py`` — the ≥3× 4-shard/1-shard
 throughput ratio, per-shard hit-rate parity, and byte-identity flags
-must all hold.  That file is validated, never re-run, so CI stays fast.
+must hold) and the refinement-tier benchmark (``BENCH_optimize.json``,
+written by ``scripts/bench_optimize.py`` — every entry must keep
+``sigma_after ≤ sigma_before`` and enough entries must show a strict
+anneal Σ reduction).
 
 Opt-in axes: heavyweight circuits that should not run on every CI pass
 (e.g. ``corpus-200k``) are excluded from the default set but can be
@@ -67,6 +71,7 @@ from repro.retiming.solve import solve_cut_retiming  # noqa: E402
 
 OUT = REPO / "BENCH_partition.json"
 FLEET_OUT = REPO / "BENCH_service_fleet.json"
+OPTIMIZE_OUT = REPO / "BENCH_optimize.json"
 
 #: Default bench set (matches benchmarks/conftest.py SMALL + MEDIUM),
 #: plus one generated corpus circuit at the paper's claimed scale so the
@@ -233,6 +238,51 @@ def check_fleet_baseline(path: Path) -> list:
     return problems
 
 
+def check_optimize_baseline(path: Path) -> list:
+    """Statically validate the committed ``--optimize`` baseline.
+
+    ``scripts/bench_optimize.py`` re-compiles every circuit twice with a
+    10 s anneal budget — too heavy for every CI pass — so the guard
+    asserts what the refinement tier promises about the *committed*
+    result: every entry's ``sigma_after ≤ sigma_before`` (the Σ
+    guarantee) and at least ``_meta.min_improved`` entries carry a
+    strict Σ reduction (the tier actually earns its keep).  The
+    ``optimize-smoke`` CI job re-runs two small circuits live.
+    """
+    if not path.exists():
+        return [f"optimize: no committed baseline at {path}"]
+    try:
+        data = json.loads(path.read_text())
+    except ValueError as exc:
+        return [f"optimize: {path} is not valid JSON ({exc})"]
+    problems = []
+    circuits = data.get("circuits") or {}
+    if not circuits:
+        return [f"optimize: {path} has no circuit entries"]
+    improved = 0
+    for name, entry in sorted(circuits.items()):
+        for method in ("fast", "anneal"):
+            stats = entry.get(method)
+            if stats is None:
+                problems.append(f"optimize: {name} missing {method} entry")
+                continue
+            if stats["sigma_after"] > stats["sigma_before"] + 1e-9:
+                problems.append(
+                    f"optimize: {name}/{method} sigma worsened "
+                    f"{stats['sigma_before']} -> {stats['sigma_after']}"
+                )
+        anneal = entry.get("anneal") or {}
+        if anneal and anneal["sigma_after"] < anneal["sigma_before"]:
+            improved += 1
+    need = (data.get("_meta") or {}).get("min_improved", 3)
+    if improved < need:
+        problems.append(
+            f"optimize: only {improved} circuit(s) show a strict anneal "
+            f"sigma reduction (need >= {need})"
+        )
+    return problems
+
+
 def main(argv=None) -> None:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--out", type=Path, default=OUT)
@@ -288,6 +338,7 @@ def main(argv=None) -> None:
             problems.extend(check_circuit(name, result, baseline))
     if args.check:
         problems.extend(check_fleet_baseline(FLEET_OUT))
+        problems.extend(check_optimize_baseline(OPTIMIZE_OUT))
         if problems:
             for p in problems:
                 print(f"REGRESSION {p}", file=sys.stderr)

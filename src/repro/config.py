@@ -44,6 +44,20 @@ class MercedConfig:
         merge_clusters: run the greedy ``Assign_CBIT`` merging pass
             (Table 8). Disabling it is the paper's implicit baseline of one
             CBIT per raw cluster (used by our ablation benches).
+        optimize: post-pass partition refinement tier
+            (:mod:`repro.optimize`): ``None`` (default) keeps the
+            one-shot greedy result, ``"fast"`` runs the deterministic
+            timing-aware hill climb, ``"anneal"`` the simulated-
+            annealing refinement.  Either mode only ever *improves* the
+            CBIT catalogue cost Σ (Eq. 4) — the greedy partition is the
+            fallback when no legal improving state is found.
+        optimize_budget: approximate wall-clock budget in seconds for
+            the refinement pass.  The budget is *advisory*: it is
+            converted into a deterministic move-schedule length from
+            the circuit size alone, so results are byte-identical for a
+            given ``(netlist, config)`` on any host and at any
+            ``--jobs`` — a slower machine simply overshoots the wall
+            clock instead of changing the answer.
     """
 
     lk: int = 16
@@ -55,6 +69,8 @@ class MercedConfig:
     seed: Optional[int] = 1996
     max_sources: Optional[int] = None
     merge_clusters: bool = True
+    optimize: Optional[str] = None
+    optimize_budget: float = 5.0
 
     def __post_init__(self) -> None:
         if self.lk < 1:
@@ -74,6 +90,15 @@ class MercedConfig:
         if self.max_sources is not None and self.max_sources < 1:
             raise ConfigError(
                 f"max_sources must be positive or None, got {self.max_sources}"
+            )
+        if self.optimize not in (None, "fast", "anneal"):
+            raise ConfigError(
+                f"optimize must be None, 'fast' or 'anneal', "
+                f"got {self.optimize!r}"
+            )
+        if self.optimize_budget <= 0:
+            raise ConfigError(
+                f"optimize_budget must be positive, got {self.optimize_budget}"
             )
 
     @property
@@ -96,6 +121,14 @@ class MercedConfig:
 
     def with_max_sources(self, max_sources: Optional[int]) -> "MercedConfig":
         return replace(self, max_sources=max_sources)
+
+    def with_optimize(
+        self, optimize: Optional[str], budget: Optional[float] = None
+    ) -> "MercedConfig":
+        """Copy with a refinement tier (and optionally its budget)."""
+        if budget is None:
+            return replace(self, optimize=optimize)
+        return replace(self, optimize=optimize, optimize_budget=budget)
 
     def canonical_dict(self) -> dict:
         """Every field as a stable ``{name: value}`` dict (sorted keys).

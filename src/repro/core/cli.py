@@ -122,7 +122,31 @@ def build_parser() -> argparse.ArgumentParser:
         "(Dijkstra runs, relaxations, nets cut, merge attempts) and emit "
         "the JSON trace to FILE, or to stdout when no FILE is given",
     )
+    _add_optimize_args(parser)
     return parser
+
+
+def _add_optimize_args(parser: argparse.ArgumentParser) -> None:
+    """The refinement-tier flags, shared by main/sweep/submit parsers."""
+    parser.add_argument(
+        "--optimize",
+        choices=["fast", "anneal"],
+        default=None,
+        help="refine the Assign_CBIT partition by legality-checked "
+        "local search: 'fast' (deterministic greedy cut-absorption "
+        "sweeps) or 'anneal' (seeded simulated annealing over "
+        "membership swaps and cut relocations); the result never "
+        "exceeds the greedy Σ",
+    )
+    parser.add_argument(
+        "--optimize-budget",
+        type=float,
+        default=5.0,
+        metavar="SEC",
+        help="advisory wall-clock budget for --optimize; converted to a "
+        "deterministic move schedule, so results are byte-identical on "
+        "any host (default: 5.0)",
+    )
 
 
 def build_sweep_parser() -> argparse.ArgumentParser:
@@ -212,6 +236,7 @@ def build_sweep_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="aggregate per-stage perf traces across workers to FILE/stdout",
     )
+    _add_optimize_args(parser)
     return parser
 
 
@@ -332,6 +357,11 @@ def _run_sweep(args) -> int:
     base_kwargs = dict(seed=args.seed, max_sources=args.max_sources)
     if args.min_visit is not None:
         base_kwargs["min_visit"] = args.min_visit
+    if args.optimize is not None:
+        # the optimize axis widens point_key automatically (it folds the
+        # full canonical config), so cached non-optimized points survive
+        base_kwargs["optimize"] = args.optimize
+        base_kwargs["optimize_budget"] = args.optimize_budget
     base = MercedConfig(**base_kwargs)
 
     lks = args.lk
@@ -514,6 +544,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             beta=args.beta,
             seed=args.seed,
             max_sources=args.max_sources,
+            optimize=args.optimize,
+            optimize_budget=args.optimize_budget,
         )
         from .merced import Merced
 
@@ -526,6 +558,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             report = Merced(config).run(
                 netlist,
                 retimable_method="solver" if args.solver else "scc-budget",
+                optimize_solver=args.retiming_solver,
             )
         finally:
             if trace is not None:

@@ -8,6 +8,9 @@ STEP 4  return the partition ``P`` and its cost.
 
 On top of the paper's steps, the report carries the Table 10/11 row
 (cut-net statistics + CPU time) and the Table 12 area comparison.
+With ``config.optimize`` set, the STEP 3 result is additionally refined
+by the local-search tier (:mod:`repro.optimize`) before costing, and the
+report's ``optimize`` field records the before/after deltas.
 """
 
 from __future__ import annotations
@@ -54,6 +57,7 @@ class Merced:
         retimable_method: str = "scc-budget",
         graph=None,
         scc_index: Optional[SCCIndex] = None,
+        optimize_solver: str = "auto",
     ) -> MercedReport:
         """Run STEPs 1–4 on ``netlist`` and return the full report.
 
@@ -68,6 +72,12 @@ class Merced:
                 resets its flow state, so sharing is safe; the compiled
                 CSR arrays and SCC structure carry over unchanged.
             scc_index: the matching prebuilt :class:`SCCIndex`.
+            optimize_solver: retiming backend for the refinement tier's
+                inner re-solves when ``config.optimize`` is set
+                (``"mcf"`` drop sets are verified as legal minimal
+                covers).  Deliberately *not* a config field: it cannot
+                change the legality of the result, so it stays out of
+                the sweep cache identity.
 
         Raises:
             AnalysisError: the entry lint gate found structural errors
@@ -145,6 +155,25 @@ class Merced:
             )
             n_merges = 0
         perf_count("merges", n_merges)
+
+        optimize_stats = None
+        if self.config.optimize is not None:
+            from ..optimize import optimize_partition
+
+            with perf_stage("optimize"):
+                refined = optimize_partition(
+                    graph,
+                    scc_index,
+                    partition,
+                    self.config,
+                    name=netlist.name,
+                    locked=locked,
+                    solver=optimize_solver,
+                )
+            partition = refined.partition
+            cost_dff = refined.sigma_after
+            optimize_stats = refined.stats()
+            perf_count("optimize_moves", refined.n_accepted)
         cpu = time.perf_counter() - t0
 
         cut_nets = partition.cut_nets()
@@ -181,6 +210,7 @@ class Merced:
             n_splits=group.n_splits,
             saturation_sources=group.saturation.n_sources,
             cost_dff=cost_dff,
+            optimize=optimize_stats,
         )
 
     def run_named(self, name: str, **kwargs) -> MercedReport:

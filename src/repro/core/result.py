@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Dict, Optional, Tuple
 
 from ..cbit.assemble import CBITPlan
 from ..config import MercedConfig
@@ -50,6 +50,10 @@ class MercedReport:
     n_splits: int
     saturation_sources: int
     cost_dff: float  # Σ = Σ p_k n_k (Eq. 4)
+    #: refinement summary (``OptimizeResult.stats()``) when the run was
+    #: compiled with ``config.optimize``; ``None`` otherwise, keeping
+    #: the payload shape of non-optimized runs unchanged.
+    optimize: Optional[Dict[str, object]] = None
 
     @property
     def n_partitions(self) -> int:
@@ -69,6 +73,18 @@ class MercedReport:
             f"  cut nets: {a.n_cut_nets} ({a.n_cut_nets_on_scc} on SCCs, "
             f"{a.n_retimable} retimable)",
             f"  CBIT catalogue cost Σ: {self.cost_dff:.2f} DFF equivalents",
+        ]
+        if self.optimize is not None:
+            o = self.optimize
+            lines.append(
+                f"  optimize ({o['method']}): "
+                f"Σ {o['sigma_before']} → {o['sigma_after']}, "
+                f"cuts {o['cuts_before']} → {o['cuts_after']}, "
+                f"uncovered {o['uncovered_before']} → "
+                f"{o['uncovered_after']} "
+                f"({o['n_accepted']}/{o['n_proposed']} moves kept)"
+            )
+        lines += [
             f"  A_CBIT/A_Total: {a.pct_with_retiming:.1f}% with retiming, "
             f"{a.pct_without_retiming:.1f}% without "
             f"({a.saving_points:.1f} points saved, "

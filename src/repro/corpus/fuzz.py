@@ -43,7 +43,6 @@ from ..netlist.bench import write_bench
 from ..netlist.netlist import Netlist
 from ..partition import assign_cbit, make_group
 from ..partition.assign_cbit import assign_cbit_reference
-from ..retiming.model import retimed_weight
 from ..retiming.solve import solve_cut_retiming, solve_cut_retiming_reference
 from .spec import CorpusSpec
 from .topology import generate_corpus_circuit
@@ -161,14 +160,17 @@ def check_solvers(
     deficit-certificate order), so this is deliberately weaker than
     bit-identity:
 
-    * the three-way split covered ⊎ dropped ⊎ unconstrained must
-      partition the same cut universe for both solvers;
+    * each solver's drop set must satisfy the legal-minimal-cover
+      contract of :func:`repro.retiming.verify.verify_drop_set`
+      (legal lags, three-way split partitions the universe, every
+      covered cut registered on all its requirement edges; the mcf
+      side additionally proves minimality — no dropped cut is already
+      fully registered);
     * the unconstrained set (cuts generating no constraint) is solver
-      independent and must match exactly;
-    * both retimings must be legal;
-    * every covered cut must actually hold ≥ 1 register on each of its
-      requirement edges under its own solver's lags.
+      independent and must match exactly.
     """
+    from ..retiming.verify import verify_drop_set
+
     graph = build_circuit_graph(netlist, with_po_nodes=False)
     scc_index = SCCIndex(graph)
     config = MercedConfig(seed=1996, lk=lk, beta=beta, min_visit=5)
@@ -179,33 +181,17 @@ def check_solvers(
     greedy = solve_cut_retiming(graph, cuts, edges=edges)
     mcf = solve_cut_retiming(graph, cuts, edges=edges, solver="mcf")
 
-    universe = set(cuts)
-    for label, sol in (("greedy", greedy), ("mcf", mcf)):
-        split = (
-            set(sol.covered_cuts)
-            | set(sol.dropped_cuts)
-            | set(sol.unconstrained_cuts)
+    for label, sol, minimal in (
+        ("greedy", greedy, False),
+        ("mcf", mcf, True),
+    ):
+        problem = verify_drop_set(
+            graph, cuts, sol, edges=edges, minimal=minimal
         )
-        if split != universe:
-            return f"{label} covered/dropped/unconstrained != cut universe"
-        overlap = set(sol.covered_cuts) & set(sol.dropped_cuts)
-        if overlap:
-            return f"{label} covered ∩ dropped = {sorted(overlap)[:4]}"
+        if problem is not None:
+            return f"{label}: {problem}"
     if sorted(greedy.unconstrained_cuts) != sorted(mcf.unconstrained_cuts):
         return "unconstrained cut sets differ between solvers"
-    for label, sol in (("greedy", greedy), ("mcf", mcf)):
-        try:
-            sol.retiming.assert_legal()
-        except Exception as exc:
-            return f"{label} retiming illegal: {exc}"
-        covered = set(sol.covered_cuts)
-        rho = sol.retiming.rho
-        for i, e in enumerate(edges):
-            if e.via_nets[0] in covered and retimed_weight(e, rho) < 1:
-                return (
-                    f"{label} claims cut {e.via_nets[0]!r} covered but "
-                    f"edge {e.tail}->{e.head} has no register"
-                )
     return None
 
 

@@ -139,7 +139,7 @@ def merced_payload(report) -> Dict[str, object]:
     """
     area = report.area
     row = report.row
-    return {
+    payload: Dict[str, object] = {
         "circuit": row.circuit,
         "lk": report.config.lk,
         "beta": report.config.beta,
@@ -158,6 +158,11 @@ def merced_payload(report) -> Dict[str, object]:
         "pct_with_retiming": area.pct_with_retiming,
         "pct_without_retiming": area.pct_without_retiming,
     }
+    if report.optimize is not None:
+        # refinement deltas ride along only when the point asked for
+        # them, so payloads of non-optimized sweeps stay byte-identical
+        payload["optimize"] = dict(report.optimize)
+    return payload
 
 
 #: Per-process circuit cache: sha256(bench text) → (netlist, graph,

@@ -71,6 +71,22 @@ class Cluster:
     def __post_init__(self) -> None:
         self.input_count = len(self.input_nets)
 
+    def set_membership(
+        self, nodes: Iterable[str], input_nets: Iterable[str]
+    ) -> None:
+        """Replace this cluster's node/input sets, refreshing ``input_count``.
+
+        The refinement tier (:mod:`repro.optimize`) relocates nodes
+        between live clusters; every membership change MUST go through
+        here so the cached ``input_count`` can never go stale — hot sort
+        keys and the Eq. 4/5 accounting read the cache, and
+        :meth:`Partition.validate` cross-checks it against
+        ``len(input_nets)``.
+        """
+        self.nodes = frozenset(nodes)
+        self.input_nets = frozenset(input_nets)
+        self.input_count = len(self.input_nets)
+
     @property
     def size(self) -> int:
         return len(self.nodes)
@@ -196,6 +212,12 @@ class Partition:
             if recount != set(cl.input_nets):
                 raise PartitionError(
                     f"cluster {cl.cluster_id} input nets are stale"
+                )
+            if cl.input_count != len(cl.input_nets):
+                raise PartitionError(
+                    f"cluster {cl.cluster_id} cached input_count "
+                    f"{cl.input_count} is stale (ι = {len(cl.input_nets)}); "
+                    "membership changes must go through set_membership()"
                 )
 
     def summary(self) -> str:

@@ -14,6 +14,7 @@ from .solve import (
     solve_cut_retiming_reference,
 )
 from .mincost import solve_cut_retiming_mcf
+from .verify import verify_drop_set
 from .apply import RetimedCircuit, apply_retiming, trace_to_driver
 from .legality import connection_deltas, infer_retiming, verify_retiming
 from .initial_state import check_equivalence, find_equivalent_initial_state
@@ -29,6 +30,7 @@ __all__ = [
     "solve_cut_retiming",
     "solve_cut_retiming_reference",
     "solve_cut_retiming_mcf",
+    "verify_drop_set",
     "RetimedCircuit",
     "apply_retiming",
     "trace_to_driver",

@@ -316,6 +316,21 @@ def build_submit_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="fail fast on 429 backpressure instead of retrying",
     )
+    parser.add_argument(
+        "--optimize",
+        choices=["fast", "anneal"],
+        default=None,
+        help="ask the service to refine each point's partition with the "
+        "local-search tier (same semantics as 'merced --optimize')",
+    )
+    parser.add_argument(
+        "--optimize-budget",
+        type=float,
+        default=5.0,
+        metavar="SEC",
+        help="advisory refinement budget per point (deterministic "
+        "schedule; default: 5.0)",
+    )
     return parser
 
 
@@ -353,6 +368,9 @@ def submit_main(argv: Optional[Sequence[str]] = None) -> int:
         base = {"seed": args.seed, "beta": args.beta}
         if args.max_sources is not None:
             base["max_sources"] = args.max_sources
+        if args.optimize is not None:
+            base["optimize"] = args.optimize
+            base["optimize_budget"] = args.optimize_budget
         if args.timeout is not None:
             base["timeout"] = args.timeout
         for lk in args.lk:

@@ -1,0 +1,163 @@
+"""Golden regression net over the ``--optimize`` refinement tier.
+
+Checked-in expected values (``optimize_lk.json`` + a human-diffable
+``.txt``) for greedy vs refined compiles of the small bundled
+benchmarks — the repo's Table 12 delta record: the Eq. 4 Σ, cut and
+uncovered-cut counts, and the ``A_CBIT/A_Total`` area ratios before and
+after refinement, per variant.
+
+The anneal schedule is a pure function of ``(circuit, config)``, so
+these numbers are bit-stable across machines — any drift is a real
+behaviour change.  Regenerate intentionally with::
+
+    PYTHONPATH=src python -m pytest tests/golden -q --update-golden
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro import Merced, MercedConfig
+from repro.circuits import load_circuit
+from repro.core.report import format_table
+
+GOLDEN_DIR = Path(__file__).parent
+JSON_PATH = GOLDEN_DIR / "optimize_lk.json"
+TEXT_PATH = GOLDEN_DIR / "optimize_lk.txt"
+
+#: Small enough that greedy + fast + anneal compiles fit a test budget.
+CIRCUITS = ["s27", "s510", "s641"]
+
+#: Pinned configuration — part of the golden identity.  The 2 s budget
+#: resolves to a deterministic schedule; it is *not* a wall-clock bound.
+GOLDEN_CONFIG = MercedConfig(seed=1996, optimize_budget=2.0)
+
+
+def _compute_entries() -> dict:
+    entries = {}
+    for name in CIRCUITS:
+        greedy = Merced(GOLDEN_CONFIG).run(load_circuit(name))
+        entries[f"{name}:greedy"] = {
+            "sigma": round(greedy.cost_dff, 4),
+            "n_cuts": greedy.area.n_cut_nets,
+            "pct_with_retiming": round(greedy.area.pct_with_retiming, 4),
+            "pct_without_retiming": round(
+                greedy.area.pct_without_retiming, 4
+            ),
+        }
+        for method in ("fast", "anneal"):
+            config = GOLDEN_CONFIG.with_optimize(method)
+            report = Merced(config).run(load_circuit(name))
+            stats = dict(report.optimize)
+            entries[f"{name}:{method}"] = {
+                "sigma": round(report.cost_dff, 4),
+                "sigma_delta": stats["sigma_delta"],
+                "n_cuts": report.area.n_cut_nets,
+                "uncovered_before": stats["uncovered_before"],
+                "uncovered_after": stats["uncovered_after"],
+                "n_accepted": stats["n_accepted"],
+                "pct_with_retiming": round(
+                    report.area.pct_with_retiming, 4
+                ),
+                "pct_without_retiming": round(
+                    report.area.pct_without_retiming, 4
+                ),
+                # Table 12 delta: area-ratio points recovered vs greedy
+                "pct_delta_vs_greedy": round(
+                    report.area.pct_with_retiming
+                    - greedy.area.pct_with_retiming,
+                    4,
+                ),
+            }
+    return entries
+
+
+def _render_entries(entries: dict) -> str:
+    headers = [
+        "Circuit",
+        "method",
+        "Σ (DFF)",
+        "ΔΣ",
+        "nets cut",
+        "uncovered",
+        "w/ ret (%)",
+        "Δ vs greedy (pts)",
+    ]
+    rows = []
+    for key in sorted(entries):
+        name, method = key.rsplit(":", 1)
+        v = entries[key]
+        rows.append(
+            (
+                name,
+                method,
+                v["sigma"],
+                v.get("sigma_delta", "-"),
+                v["n_cuts"],
+                v.get("uncovered_after", "-"),
+                v["pct_with_retiming"],
+                v.get("pct_delta_vs_greedy", "-"),
+            )
+        )
+    title = (
+        "Golden refinement deltas (Table 12 analogue; "
+        f"seed={GOLDEN_CONFIG.seed}, "
+        f"budget={GOLDEN_CONFIG.optimize_budget})"
+    )
+    return title + "\n" + format_table(headers, rows)
+
+
+@pytest.fixture(scope="module")
+def computed_entries():
+    return _compute_entries()
+
+
+def test_golden_optimize(computed_entries, request):
+    update = request.config.getoption("--update-golden")
+    document = {
+        "description": (
+            "Expected --optimize refinement results vs one-shot greedy "
+            "(Table 12 deltas); regenerate with --update-golden."
+        ),
+        "config": GOLDEN_CONFIG.canonical_dict(),
+        "entries": computed_entries,
+    }
+    if update:
+        JSON_PATH.write_text(
+            json.dumps(document, indent=2, sort_keys=True) + "\n"
+        )
+        TEXT_PATH.write_text(_render_entries(computed_entries) + "\n")
+        pytest.skip("golden files regenerated — review the diff")
+    assert JSON_PATH.exists(), (
+        "tests/golden/optimize_lk.json missing — run with --update-golden"
+    )
+    golden = json.loads(JSON_PATH.read_text())
+    assert golden["config"] == GOLDEN_CONFIG.canonical_dict(), (
+        "golden config drifted; regenerate with --update-golden"
+    )
+    assert set(golden["entries"]) == set(computed_entries)
+    for key in sorted(computed_entries):
+        assert computed_entries[key] == golden["entries"][key], (
+            f"{key} drifted from the committed golden; regenerate with "
+            "--update-golden if intentional"
+        )
+
+
+def test_golden_records_a_strict_improvement(computed_entries):
+    """The committed deltas must include a real Σ win, not all ties."""
+    deltas = [
+        v["sigma_delta"]
+        for k, v in computed_entries.items()
+        if k.endswith(":anneal")
+    ]
+    assert min(deltas) < 0
+
+
+def test_golden_text_in_sync(computed_entries, request):
+    if request.config.getoption("--update-golden"):
+        pytest.skip("regenerating")
+    assert TEXT_PATH.exists()
+    assert TEXT_PATH.read_text() == _render_entries(computed_entries) + "\n"
